@@ -1,0 +1,190 @@
+// Benchmarks: one per paper experiment (E1..E12d regenerate the figures,
+// theorem verdicts and the quantitative study in quick mode) plus
+// micro-benchmarks of the engines (step execution, exhaustive exploration,
+// exact hitting-time analysis, concurrent runtime).
+package weakstab_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"weakstab"
+	"weakstab/internal/checker"
+	"weakstab/internal/experiments"
+	"weakstab/internal/markov"
+	"weakstab/internal/runtime"
+	"weakstab/internal/scheduler"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opt := experiments.Options{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, opt); err != nil {
+			b.Fatalf("%s failed: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkE01Figure1TokenTrace(b *testing.B)          { benchExperiment(b, "E1") }
+func BenchmarkE02Figure2LeaderTrace(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE03Figure3Livelock(b *testing.B)            { benchExperiment(b, "E3") }
+func BenchmarkE04Thm1SyncEquivalence(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE05Thm2TokenWeak(b *testing.B)              { benchExperiment(b, "E5") }
+func BenchmarkE06Thm3Impossibility(b *testing.B)          { benchExperiment(b, "E6") }
+func BenchmarkE07Thm4LeaderWeak(b *testing.B)             { benchExperiment(b, "E7") }
+func BenchmarkE08Thm6GoudaVsStrong(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE09Thm7RandomizedConvergence(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10Thm8Transformer(b *testing.B)            { benchExperiment(b, "E10") }
+func BenchmarkE11MemoryTable(b *testing.B)                { benchExperiment(b, "E11") }
+func BenchmarkE12StabilizationTimeExact(b *testing.B)     { benchExperiment(b, "E12a") }
+func BenchmarkE12StabilizationTimeMC(b *testing.B)        { benchExperiment(b, "E12b") }
+func BenchmarkE12StabilizationTimeBias(b *testing.B)      { benchExperiment(b, "E12c") }
+func BenchmarkE12StabilizationTimeBaselines(b *testing.B) { benchExperiment(b, "E12d") }
+func BenchmarkE13FaultDistanceRecovery(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14RoundComplexity(b *testing.B)            { benchExperiment(b, "E14") }
+func BenchmarkE15SchedulerSpectrum(b *testing.B)          { benchExperiment(b, "E15") }
+func BenchmarkE16CenterElection(b *testing.B)             { benchExperiment(b, "E16") }
+func BenchmarkE17HittingTimeTails(b *testing.B)           { benchExperiment(b, "E17") }
+
+// BenchmarkStepThroughput measures raw guarded-action step execution on a
+// 64-process token ring under the distributed randomized scheduler.
+func BenchmarkStepThroughput(b *testing.B) {
+	alg, err := weakstab.NewTokenRing(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cfg := weakstab.RandomConfiguration(alg, rng)
+	sched := weakstab.DistributedScheduler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enabled := weakstab.EnabledProcesses(alg, cfg)
+		if len(enabled) == 0 {
+			b.Fatal("terminal configuration reached")
+		}
+		cfg = weakstab.Step(alg, cfg, sched.Select(i, cfg, enabled, rng), rng)
+	}
+}
+
+// BenchmarkCheckerExplore measures exhaustive state-space construction for
+// the 6-ring (4096 configurations) under the central policy.
+func BenchmarkCheckerExplore(b *testing.B) {
+	alg, err := weakstab.NewTokenRing(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.Explore(alg, scheduler.CentralPolicy{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovHittingTimes measures exact expected-stabilization-time
+// analysis (chain construction + linear solve) for the 6-ring.
+func BenchmarkMarkovHittingTimes(b *testing.B) {
+	alg, err := weakstab.NewTokenRing(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain, enc, err := markov.FromAlgorithm(alg, scheduler.CentralPolicy{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		target := markov.LegitimateTarget(alg, enc)
+		if _, err := chain.HittingTimes(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentEngineStep measures the goroutine-per-process runtime
+// against a 32-process ring with full synchronous activation.
+func BenchmarkConcurrentEngineStep(b *testing.B) {
+	alg, err := weakstab.NewTokenRing(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := runtime.NewEngine(alg, 1)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(1))
+	cfg := weakstab.RandomConfiguration(alg, rng)
+	all := make([]int, 32)
+	for i := range all {
+		all[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, _, err := e.Step(cfg, all)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg = next
+	}
+}
+
+// BenchmarkClassify measures the full classification pipeline on Algorithm
+// 2 over the Figure 2 tree (2160 configurations, distributed policy).
+func BenchmarkClassify(b *testing.B) {
+	g := mustFigure2(b)
+	alg, err := weakstab.NewLeaderElection(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := weakstab.Classify(alg, weakstab.DistributedPolicy())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.WeakStabilizing() {
+			b.Fatal("classification changed")
+		}
+	}
+}
+
+func mustFigure2(b *testing.B) *weakstab.Graph {
+	b.Helper()
+	g, err := weakstab.NewGraph(8, [][2]int{
+		{0, 1}, {1, 2}, {2, 4}, {3, 4}, {4, 5}, {4, 6}, {5, 7},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkTransformedSimulation measures Monte-Carlo throughput of the
+// transformed token ring (N=16) under the distributed scheduler.
+func BenchmarkTransformedSimulation(b *testing.B) {
+	inner, err := weakstab.NewTokenRing(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := weakstab.Transform(inner)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := weakstab.Simulate(alg, weakstab.DistributedScheduler(),
+			weakstab.RandomConfiguration(alg, rng), rng, 5_000_000)
+		if !res.Converged {
+			b.Fatal("simulation failed to converge")
+		}
+	}
+}

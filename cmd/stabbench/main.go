@@ -1,0 +1,56 @@
+// Command stabbench regenerates the paper's experiment tables (DESIGN.md
+// E1..E12d).
+//
+// Usage:
+//
+//	stabbench -list
+//	stabbench [-run E8] [-quick] [-seed 7] [-trials 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weakstab/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "experiment id to run (default: all)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		quick  = flag.Bool("quick", false, "reduced sizes and trial counts")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trials = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+			fmt.Printf("      claim: %s\n", e.PaperClaim)
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials}
+	if *run == "" {
+		if err := experiments.RunAll(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("all experiments verified against the paper's claims")
+		return
+	}
+	e, ok := experiments.ByID(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+		os.Exit(2)
+	}
+	fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+	fmt.Printf("paper claim: %s\n\n", e.PaperClaim)
+	if err := e.Run(os.Stdout, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "FAIL:", err)
+		os.Exit(1)
+	}
+}

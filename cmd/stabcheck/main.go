@@ -1,0 +1,127 @@
+// Command stabcheck classifies an algorithm instance in the paper's
+// stabilization hierarchy by exhaustive state-space exploration and exact
+// Markov analysis: strong closure, possible/certain/probability-1
+// convergence, strongly fair diverging lassos, and the resulting class
+// (self / probabilistic / weak / none).
+//
+// Examples:
+//
+//	stabcheck -alg tokenring -n 6 -policy central
+//	stabcheck -alg leadertree -n 4 -topology chain -policy synchronous
+//	stabcheck -alg leadertree -n 4 -transform -policy synchronous
+//	stabcheck -alg dijkstra -n 4 -k 4 -policy distributed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"weakstab/internal/checker"
+	"weakstab/internal/cli"
+	"weakstab/internal/core"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+func main() {
+	var (
+		alg       = flag.String("alg", "tokenring", "algorithm: "+strings.Join(cli.Algorithms(), ", "))
+		n         = flag.Int("n", 5, "number of processes")
+		topology  = flag.String("topology", "chain", "tree topology: chain, star, random, figure2")
+		k         = flag.Int("k", 0, "dijkstra state count / token ring modulus override")
+		transform = flag.Bool("transform", false, "apply the §4 coin-toss transformer")
+		bias      = flag.Float64("bias", 0.5, "transformer coin bias")
+		policy    = flag.String("policy", "central", "scheduler policy: central, distributed, synchronous")
+		seed      = flag.Int64("seed", 1, "seed for random topologies")
+		witness   = flag.Bool("witness", false, "print a worst-case convergence witness path")
+		kfaults   = flag.Int("kfaults", -1, "also analyze convergence within k corrupted processes (k-stabilization lens)")
+		lasso     = flag.Bool("lasso", false, "print the strongly fair diverging lasso and its Gouda-fairness verdict")
+		maxStates = flag.Int64("max-states", 0, "state space cap (0 = default)")
+	)
+	flag.Parse()
+
+	spec := cli.Spec{Algorithm: *alg, N: *n, Topology: *topology, K: *k,
+		Transform: *transform, Bias: *bias, Seed: *seed}
+	a, err := spec.Build()
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := cli.BuildPolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.Analyze(a, pol, *maxStates)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	if err := rep.CheckHierarchy(); err != nil {
+		fatal(err)
+	}
+	if rep.FairLassoFound {
+		fmt.Println("  note: a strongly fair diverging execution exists — not self-stabilizing even under the strongly fair scheduler")
+	}
+	if *witness {
+		if err := printWitness(a, pol, *maxStates); err != nil {
+			fatal(err)
+		}
+	}
+	if *kfaults >= 0 || *lasso {
+		sp, err := checker.Explore(a, pol, *maxStates)
+		if err != nil {
+			fatal(err)
+		}
+		if *kfaults >= 0 {
+			dist := sp.DistanceToLegitimate()
+			for k := 0; k <= *kfaults; k++ {
+				v := sp.CheckKFaults(k, dist)
+				fmt.Printf("  k=%d faults: %d configurations, possible=%v certain=%v\n",
+					k, v.Configs, v.Possible, v.Certain)
+			}
+		}
+		if *lasso {
+			l := sp.FindStronglyFairLasso()
+			if !l.Found {
+				fmt.Println("  no strongly fair diverging lasso found")
+			} else {
+				fmt.Printf("  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
+					len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
+			}
+		}
+	}
+}
+
+// printWitness prints the shortest convergence path from the configuration
+// farthest from L (or reports the first configuration with none).
+func printWitness(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) error {
+	sp, err := checker.Explore(a, pol, maxStates)
+	if err != nil {
+		return err
+	}
+	worst, worstLen := -1, 0
+	for s := 0; s < sp.States; s++ {
+		path := sp.WitnessPath(sp.Config(s))
+		if path == nil {
+			fmt.Printf("  no convergence path from %v\n", sp.Config(s))
+			return nil
+		}
+		if len(path) > worstLen {
+			worst, worstLen = s, len(path)
+		}
+	}
+	if worst < 0 {
+		return nil
+	}
+	fmt.Printf("  worst-case witness (%d steps):\n", worstLen-1)
+	for _, cfg := range sp.WitnessPath(sp.Config(worst)) {
+		fmt.Printf("    %v\n", cfg)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stabcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command stabtrace regenerates the paper's figures as ASCII traces:
+//
+//	stabtrace -fig 1   # Figure 1: token circulation on the 6-ring (mN=4)
+//	stabtrace -fig 2   # Figure 2: Algorithm 2 converging on the 8-tree
+//	stabtrace -fig 3   # Figure 3: synchronous livelock on the 4-chain
+//
+// It can also trace arbitrary instances:
+//
+//	stabtrace -alg tokenring -n 5 -sched central -steps 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"weakstab/internal/algorithms/leadertree"
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/cli"
+	"weakstab/internal/graph"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/trace"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "paper figure to regenerate (1, 2 or 3)")
+		alg   = flag.String("alg", "", "algorithm for a custom trace: "+strings.Join(cli.Algorithms(), ", "))
+		n     = flag.Int("n", 6, "number of processes")
+		sched = flag.String("sched", "central", "scheduler for custom traces")
+		steps = flag.Int("steps", 10, "steps for custom traces")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *fig == 1:
+		figure1()
+	case *fig == 2:
+		figure2()
+	case *fig == 3:
+		figure3()
+	case *alg != "":
+		custom(*alg, *n, *sched, *steps, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "stabtrace: pass -fig 1|2|3 or -alg <name>")
+		os.Exit(2)
+	}
+}
+
+func figure1() {
+	a, err := tokenring.New(6)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Figure 1: token circulation on the anonymous 6-ring, mN = 4")
+	fmt.Println("(dt values; * marks the token holder, who passes it to its successor)")
+	tr := trace.RecordScript(a, a.LegitimateWithTokenAt(1), [][]int{{1}, {2}}, nil)
+	trace.RenderRingPanels(os.Stdout, tr, func(cfg protocol.Configuration, p int) bool {
+		return a.HasToken(cfg, p)
+	})
+}
+
+func figure2() {
+	g := graph.Figure2Tree()
+	a, err := leadertree.New(g)
+	if err != nil {
+		fatal(err)
+	}
+	parents := []int{1, 0, 1, 4, 6, 7, 4, 5}
+	init := make(protocol.Configuration, 8)
+	for p, q := range parents {
+		i, ok := g.LocalIndex(p, q)
+		if !ok {
+			fatal(fmt.Errorf("figure 2 tree: %d not adjacent to %d", q, p))
+		}
+		init[p] = i
+	}
+	fmt.Println("Figure 2: possible convergence of Algorithm 2 on the 8-process tree")
+	tr := trace.RecordScript(a, init, [][]int{{5, 7}, {1, 7}, {2, 4}, {1, 4}}, nil)
+	trace.RenderLabeledPanels(os.Stdout, tr, parentLabel(a))
+	fmt.Printf("terminal: %v, leader: P%d\n", a.Legitimate(tr.Final()), a.Leaders(tr.Final())[0]+1)
+}
+
+func figure3() {
+	g, err := graph.Chain(4)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := leadertree.New(g)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Figure 3: synchronous execution of Algorithm 2 on the 4-chain (period-2 livelock)")
+	init := protocol.Configuration{0, 0, 1, 0}
+	tr := trace.Record(a, scheduler.NewSynchronous(), init, nil, 4, nil)
+	trace.RenderLabeledPanels(os.Stdout, tr, parentLabel(a))
+	fmt.Println("the execution repeats panels (i)/(ii) forever and never converges")
+}
+
+func parentLabel(a *leadertree.Algorithm) trace.StateLabeler {
+	return func(cfg protocol.Configuration, p int) string {
+		if par := a.Parent(cfg, p); par >= 0 {
+			return fmt.Sprintf("→P%d", par+1)
+		}
+		return "⊥"
+	}
+}
+
+func custom(alg string, n int, sched string, steps int, seed int64) {
+	spec := cli.Spec{Algorithm: alg, N: n, Seed: seed}
+	a, err := spec.Build()
+	if err != nil {
+		fatal(err)
+	}
+	s, err := cli.BuildScheduler(sched)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := trace.Record(a, s, protocol.RandomConfiguration(a, rng), rng, steps, nil)
+	trace.RenderTable(os.Stdout, tr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stabtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// How many faults can the system absorb? The k-stabilization lens from the
+// paper's related work, computed exactly: fault distance classifies every
+// configuration by the number of corrupted process memories, the checker
+// decides deterministic convergence per distance ball, and the Markov
+// analysis prices the expected recovery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakstab"
+	"weakstab/internal/checker"
+	"weakstab/internal/markov"
+	"weakstab/internal/scheduler"
+)
+
+func main() {
+	alg, err := weakstab.NewTokenRing(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol := scheduler.CentralPolicy{}
+
+	sp, err := checker.Explore(alg, pol, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := sp.DistanceToLegitimate()
+
+	chain, enc, err := markov.FromAlgorithm(alg, pol, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := markov.LegitimateTarget(alg, enc)
+	h, err := chain.HittingTimes(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("token ring N=6 under the central scheduler:")
+	fmt.Println("k  configs  deterministic-recovery  E[recovery | k faults]")
+	for k := 0; k <= 6; k++ {
+		v := sp.CheckKFaults(k, dist)
+		count, sum := 0, 0.0
+		for s := 0; s < sp.States; s++ {
+			if dist[s] == k {
+				count++
+				sum += h[s]
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		fmt.Printf("%d  %7d  %22v  %.2f steps\n", k, count, v.Certain, sum/float64(count))
+	}
+	fmt.Println()
+	fmt.Println("deterministic guarantees collapse at the first fault (two tokens can")
+	fmt.Println("alternate forever), but the randomized scheduler recovers in expected")
+	fmt.Println("time that grows gently with the number of corrupted processes")
+}

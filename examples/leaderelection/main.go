@@ -1,0 +1,61 @@
+// Leader election on an anonymous tree with the paper's Algorithm 2: no
+// identifiers, log(Δ) bits per process, weak-stabilizing. The example
+// elects a leader on a random tree, corrupts the network, and re-elects.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"weakstab"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	tree, err := weakstab.NewRandomTree(10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %v\n", tree)
+
+	alg, err := weakstab.NewLeaderElection(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Elect from an arbitrary initial configuration. Deterministic
+	// self-stabilizing election is impossible on anonymous trees
+	// (Theorem 3); under a randomized scheduler the weak-stabilizing
+	// Algorithm 2 still converges with probability 1 (Theorem 7).
+	res := weakstab.Simulate(alg, weakstab.CentralScheduler(),
+		weakstab.RandomConfiguration(alg, rng), rng, 0)
+	if !res.Converged {
+		log.Fatal("election did not converge")
+	}
+	leader := alg.Leaders(res.Final)[0]
+	fmt.Printf("elected P%d after %d steps; all parent pointers form an in-tree:\n", leader+1, res.Steps)
+	printOrientation(alg, res.Final)
+
+	// Transient fault: corrupt four processes. The system is caught in an
+	// illegitimate configuration and re-stabilizes.
+	faulted := weakstab.InjectFaults(alg, res.Final, 4, rng)
+	fmt.Printf("\nafter corrupting 4 processes: %d leader(s) visible\n", len(alg.Leaders(faulted)))
+	res = weakstab.Simulate(alg, weakstab.CentralScheduler(), faulted, rng, 0)
+	if !res.Converged {
+		log.Fatal("re-election did not converge")
+	}
+	fmt.Printf("re-elected P%d after %d steps\n", alg.Leaders(res.Final)[0]+1, res.Steps)
+}
+
+func printOrientation(alg interface {
+	Parent(weakstab.Configuration, int) int
+}, cfg weakstab.Configuration) {
+	for p := range cfg {
+		if par := alg.Parent(cfg, p); par >= 0 {
+			fmt.Printf("  P%d -> P%d\n", p+1, par+1)
+		} else {
+			fmt.Printf("  P%d    (leader)\n", p+1)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package centers implements the paper's first weak-stabilizing leader
+// election for anonymous trees (§3.2, "a solution using log N bits"): a
+// self-stabilizing tree-center computation in the style of Bruell, Ghosh,
+// Karaata and Pemmaraju (SIAM J. Comput. 29(2), 1999) composed with a
+// one-bit tie-breaker for the two-adjacent-centers case.
+//
+// # Center finding (Finder)
+//
+// Every process p maintains x_p ∈ [0, N). The rule drives x_p to
+//
+//	f(p) = 1 + secmax{ x_q : q ∈ Γ_p }
+//
+// where secmax is the maximum of the multiset after removing one occurrence
+// of its maximum (secmax ∅ = -1, so leaves settle at 0). At the unique
+// fixed point, x_p equals the second-largest height among the directions
+// out of p (the height of direction p→q being the longest path from p whose
+// first edge is {p,q}); the processes satisfying the local predicate
+// Center(p) ≡ x_p ≥ x_q for all neighbors q are then exactly the tree's
+// centers (one, or two adjacent, by Property 1). Both facts are verified
+// exhaustively by the package tests and experiment E7.
+//
+// # Leader election (Elector)
+//
+// Elector runs Finder and adds one boolean B per process. When the x-layer
+// is locally stable and p detects itself a center with a twin center q of
+// equal B, it flips B. The leader is the unique center, or the center with
+// B = true when the two centers' booleans differ. Two centers flipping
+// simultaneously keep their booleans equal, so the synchronous scheduler
+// can livelock — the election is weak- but not self-stabilizing, exactly
+// as the paper requires (Theorem 3 forbids better on anonymous trees).
+package centers
+
+import (
+	"fmt"
+
+	"weakstab/internal/graph"
+	"weakstab/internal/protocol"
+)
+
+// Finder action id.
+const ActionAdjust = 1
+
+// Elector action ids.
+const (
+	ActionCenter = 1 // adjust x toward f(p)
+	ActionFlip   = 2 // flip the tie-break boolean
+)
+
+// secmax returns 1 + the second maximum (with multiplicity) of the x
+// values of p's neighbors, clamped to [0, limit].
+func target(g *graph.Graph, x func(q int) int, p, limit int) int {
+	best, second := -1, -1
+	for i := 0; i < g.Degree(p); i++ {
+		v := x(g.Neighbor(p, i))
+		switch {
+		case v > best:
+			second = best
+			best = v
+		case v > second:
+			second = v
+		}
+	}
+	t := 1 + second
+	if t > limit {
+		t = limit
+	}
+	return t
+}
+
+// Finder is the self-stabilizing center-finding algorithm on a tree.
+type Finder struct {
+	g       *graph.Graph
+	centers map[int]bool
+}
+
+var (
+	_ protocol.Algorithm     = (*Finder)(nil)
+	_ protocol.Deterministic = (*Finder)(nil)
+)
+
+// NewFinder returns the center-finding algorithm on tree g.
+func NewFinder(g *graph.Graph) (*Finder, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("centers: need at least 2 processes, got %d", g.N())
+	}
+	if !g.IsTree() {
+		return nil, fmt.Errorf("centers: graph %s is not a tree", g.Name())
+	}
+	cs := map[int]bool{}
+	for _, c := range g.Centers() {
+		cs[c] = true
+	}
+	return &Finder{g: g, centers: cs}, nil
+}
+
+// Name implements protocol.Algorithm.
+func (f *Finder) Name() string { return fmt.Sprintf("centerfinder(%s)", f.g.Name()) }
+
+// Graph implements protocol.Algorithm.
+func (f *Finder) Graph() *graph.Graph { return f.g }
+
+// StateCount implements protocol.Algorithm: x_p ∈ [0, N).
+func (f *Finder) StateCount(int) int { return f.g.N() }
+
+// Target returns f(p), the value the rule drives x_p toward.
+func (f *Finder) Target(cfg protocol.Configuration, p int) int {
+	return target(f.g, func(q int) int { return cfg[q] }, p, f.g.N()-1)
+}
+
+// EnabledAction implements protocol.Algorithm.
+func (f *Finder) EnabledAction(cfg protocol.Configuration, p int) int {
+	if cfg[p] != f.Target(cfg, p) {
+		return ActionAdjust
+	}
+	return protocol.Disabled
+}
+
+// Outcomes implements protocol.Algorithm.
+func (f *Finder) Outcomes(cfg protocol.Configuration, p, action int) []protocol.Outcome {
+	return protocol.Det(f.DeterministicExecute(cfg, p, action))
+}
+
+// DeterministicExecute implements protocol.Deterministic.
+func (f *Finder) DeterministicExecute(cfg protocol.Configuration, p, _ int) int {
+	return f.Target(cfg, p)
+}
+
+// ActionName implements protocol.Algorithm.
+func (f *Finder) ActionName(int) string { return "adjust(x←1+secmax)" }
+
+// IsCenter evaluates the local predicate Center(p) ≡ x_p ≥ x_q ∀q ∈ Γ_p.
+func (f *Finder) IsCenter(cfg protocol.Configuration, p int) bool {
+	for i := 0; i < f.g.Degree(p); i++ {
+		if cfg[f.g.Neighbor(p, i)] > cfg[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// DetectedCenters returns the processes satisfying Center, ascending.
+func (f *Finder) DetectedCenters(cfg protocol.Configuration) []int {
+	var out []int
+	for p := 0; p < f.g.N(); p++ {
+		if f.IsCenter(cfg, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Legitimate implements protocol.Algorithm: the configuration is a fixed
+// point of the rule and the detected centers are the true graph centers.
+func (f *Finder) Legitimate(cfg protocol.Configuration) bool {
+	for p := 0; p < f.g.N(); p++ {
+		if cfg[p] != f.Target(cfg, p) {
+			return false
+		}
+	}
+	detected := f.DetectedCenters(cfg)
+	if len(detected) != len(f.centers) {
+		return false
+	}
+	for _, c := range detected {
+		if !f.centers[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Elector is the composite weak-stabilizing leader election: Finder plus a
+// one-bit tie-breaker. Process state encodes (x, B) as x*2 + B.
+type Elector struct {
+	g      *graph.Graph
+	finder *Finder
+}
+
+var (
+	_ protocol.Algorithm     = (*Elector)(nil)
+	_ protocol.Deterministic = (*Elector)(nil)
+)
+
+// NewElector returns the log N-bit leader election on tree g.
+func NewElector(g *graph.Graph) (*Elector, error) {
+	f, err := NewFinder(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Elector{g: g, finder: f}, nil
+}
+
+// Name implements protocol.Algorithm.
+func (e *Elector) Name() string { return fmt.Sprintf("centerelector(%s)", e.g.Name()) }
+
+// Graph implements protocol.Algorithm.
+func (e *Elector) Graph() *graph.Graph { return e.g }
+
+// StateCount implements protocol.Algorithm: N values of x times 2 booleans.
+func (e *Elector) StateCount(int) int { return e.g.N() * 2 }
+
+// X extracts the x-layer value of p's state.
+func (e *Elector) X(cfg protocol.Configuration, p int) int { return cfg[p] / 2 }
+
+// B extracts the tie-break boolean of p's state.
+func (e *Elector) B(cfg protocol.Configuration, p int) bool { return cfg[p]%2 == 1 }
+
+// Encode packs (x, b) into a state value.
+func (e *Elector) Encode(x int, b bool) int {
+	s := x * 2
+	if b {
+		s++
+	}
+	return s
+}
+
+func (e *Elector) targetX(cfg protocol.Configuration, p int) int {
+	return target(e.g, func(q int) int { return e.X(cfg, q) }, p, e.g.N()-1)
+}
+
+// centerLooking reports whether p locally looks like a center on the
+// x-layer: x_p ≥ x_q for all neighbors q.
+func (e *Elector) centerLooking(cfg protocol.Configuration, p int) bool {
+	for i := 0; i < e.g.Degree(p); i++ {
+		if e.X(cfg, e.g.Neighbor(p, i)) > e.X(cfg, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// twin returns the neighbor q with x_q = x_p (the other detected center),
+// or -1. With transient x-values several neighbors may tie; the smallest is
+// returned.
+func (e *Elector) twin(cfg protocol.Configuration, p int) int {
+	for i := 0; i < e.g.Degree(p); i++ {
+		q := e.g.Neighbor(p, i)
+		if e.X(cfg, q) == e.X(cfg, p) {
+			return q
+		}
+	}
+	return -1
+}
+
+// EnabledAction implements protocol.Algorithm.
+func (e *Elector) EnabledAction(cfg protocol.Configuration, p int) int {
+	if e.X(cfg, p) != e.targetX(cfg, p) {
+		return ActionCenter
+	}
+	if !e.centerLooking(cfg, p) {
+		return protocol.Disabled
+	}
+	// Flip when some tied neighbor has the same boolean.
+	for i := 0; i < e.g.Degree(p); i++ {
+		q := e.g.Neighbor(p, i)
+		if e.X(cfg, q) == e.X(cfg, p) && e.B(cfg, q) == e.B(cfg, p) {
+			return ActionFlip
+		}
+	}
+	return protocol.Disabled
+}
+
+// Outcomes implements protocol.Algorithm.
+func (e *Elector) Outcomes(cfg protocol.Configuration, p, action int) []protocol.Outcome {
+	return protocol.Det(e.DeterministicExecute(cfg, p, action))
+}
+
+// DeterministicExecute implements protocol.Deterministic.
+func (e *Elector) DeterministicExecute(cfg protocol.Configuration, p, action int) int {
+	switch action {
+	case ActionCenter:
+		return e.Encode(e.targetX(cfg, p), e.B(cfg, p))
+	case ActionFlip:
+		return e.Encode(e.X(cfg, p), !e.B(cfg, p))
+	default:
+		return cfg[p]
+	}
+}
+
+// ActionName implements protocol.Algorithm.
+func (e *Elector) ActionName(action int) string {
+	switch action {
+	case ActionCenter:
+		return "adjust(x←1+secmax)"
+	case ActionFlip:
+		return "flip(B←¬B)"
+	default:
+		return fmt.Sprintf("unknown(%d)", action)
+	}
+}
+
+// IsLeader reports whether p is the elected leader: p looks like a center
+// and either has no tied neighbor (unique center) or B_p is true while the
+// twin's boolean is false.
+func (e *Elector) IsLeader(cfg protocol.Configuration, p int) bool {
+	if !e.centerLooking(cfg, p) {
+		return false
+	}
+	q := e.twin(cfg, p)
+	if q == -1 {
+		return true
+	}
+	return e.B(cfg, p) && !e.B(cfg, q)
+}
+
+// Leaders returns all processes satisfying IsLeader, ascending.
+func (e *Elector) Leaders(cfg protocol.Configuration) []int {
+	var out []int
+	for p := 0; p < e.g.N(); p++ {
+		if e.IsLeader(cfg, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Legitimate implements protocol.Algorithm: the x-layer is a fixed point
+// whose detected centers are the true centers, and exactly one process is
+// the leader.
+func (e *Elector) Legitimate(cfg protocol.Configuration) bool {
+	xs := make(protocol.Configuration, e.g.N())
+	for p := range xs {
+		xs[p] = e.X(cfg, p)
+	}
+	if !e.finder.Legitimate(xs) {
+		return false
+	}
+	return len(e.Leaders(cfg)) == 1
+}

@@ -1,0 +1,128 @@
+// Package coloring implements greedy distributed vertex coloring, the
+// canonical "conflict" algorithm behind the conflict managers of
+// Gradinariu and Tixeuil (ICDCS 2007) — the paper's citation [14] and the
+// origin of the §4 transformer trick.
+//
+// Every process p holds a color in [0, deg(p)+1). A process is enabled iff
+// some neighbor has the same color, and recolors to the smallest color not
+// used by any neighbor (which exists in its own palette since it has
+// deg(p) neighbors). The legitimate configurations are the proper
+// colorings, which coincide with the terminal ones.
+//
+// The algorithm walks the whole stabilization hierarchy as the scheduler
+// varies, making it the library's spectrum specimen (experiment E15):
+//
+//   - central scheduler: every move eliminates all conflicts at the moving
+//     process and touches no other edge, so the number of conflicting
+//     edges strictly decreases — deterministically SELF-stabilizing;
+//   - distributed scheduler: symmetric neighbors recoloring simultaneously
+//     can chase each other forever — only weak-stabilizing;
+//   - synchronous scheduler: on color-symmetric configurations (e.g. a
+//     uniformly colored even ring) the livelock is forced — not even
+//     weak-stabilizing;
+//   - transformed (§4): probabilistically self-stabilizing everywhere.
+package coloring
+
+import (
+	"fmt"
+
+	"weakstab/internal/graph"
+	"weakstab/internal/protocol"
+)
+
+// ActionRecolor is the id of the unique action.
+const ActionRecolor = 1
+
+// Algorithm is greedy coloring on an arbitrary connected graph.
+type Algorithm struct {
+	g *graph.Graph
+}
+
+var (
+	_ protocol.Algorithm     = (*Algorithm)(nil)
+	_ protocol.Deterministic = (*Algorithm)(nil)
+)
+
+// New returns the coloring algorithm on g (at least 2 nodes).
+func New(g *graph.Graph) (*Algorithm, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("coloring: need at least 2 processes, got %d", g.N())
+	}
+	return &Algorithm{g: g}, nil
+}
+
+// Name implements protocol.Algorithm.
+func (a *Algorithm) Name() string { return fmt.Sprintf("coloring(%s)", a.g.Name()) }
+
+// Graph implements protocol.Algorithm.
+func (a *Algorithm) Graph() *graph.Graph { return a.g }
+
+// StateCount implements protocol.Algorithm: the palette of p is
+// [0, deg(p)+1), always large enough for a free color.
+func (a *Algorithm) StateCount(p int) int { return a.g.Degree(p) + 1 }
+
+// Conflicted reports whether p shares its color with some neighbor.
+func (a *Algorithm) Conflicted(cfg protocol.Configuration, p int) bool {
+	for i := 0; i < a.g.Degree(p); i++ {
+		if cfg[a.g.Neighbor(p, i)] == cfg[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictEdges returns the number of edges whose endpoints share a color.
+func (a *Algorithm) ConflictEdges(cfg protocol.Configuration) int {
+	count := 0
+	for _, e := range a.g.Edges() {
+		if cfg[e[0]] == cfg[e[1]] {
+			count++
+		}
+	}
+	return count
+}
+
+// EnabledAction implements protocol.Algorithm.
+func (a *Algorithm) EnabledAction(cfg protocol.Configuration, p int) int {
+	if a.Conflicted(cfg, p) {
+		return ActionRecolor
+	}
+	return protocol.Disabled
+}
+
+// Outcomes implements protocol.Algorithm.
+func (a *Algorithm) Outcomes(cfg protocol.Configuration, p, action int) []protocol.Outcome {
+	return protocol.Det(a.DeterministicExecute(cfg, p, action))
+}
+
+// DeterministicExecute implements protocol.Deterministic: the smallest
+// color in p's palette unused by its neighbors.
+func (a *Algorithm) DeterministicExecute(cfg protocol.Configuration, p, _ int) int {
+	used := make([]bool, a.StateCount(p))
+	for i := 0; i < a.g.Degree(p); i++ {
+		c := cfg[a.g.Neighbor(p, i)]
+		if c < len(used) {
+			used[c] = true
+		}
+	}
+	for c, u := range used {
+		if !u {
+			return c
+		}
+	}
+	// Unreachable: deg(p) neighbors cannot cover deg(p)+1 colors.
+	return cfg[p]
+}
+
+// ActionName implements protocol.Algorithm.
+func (a *Algorithm) ActionName(int) string { return "recolor" }
+
+// Legitimate implements protocol.Algorithm: a proper coloring.
+func (a *Algorithm) Legitimate(cfg protocol.Configuration) bool {
+	for p := 0; p < a.g.N(); p++ {
+		if a.Conflicted(cfg, p) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakstab/internal/checker"
+	"weakstab/internal/graph"
+	"weakstab/internal/markov"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/transformer"
+)
+
+func mustNew(t *testing.T, g *graph.Graph, err error) *Algorithm {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	one, err := graph.FromEdges(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(one); err == nil {
+		t.Fatal("single node accepted")
+	}
+}
+
+func TestModelValidates(t *testing.T) {
+	g, err := graph.Ring(4)
+	a := mustNew(t, g, err)
+	if err := protocol.Validate(a, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecolorPicksSmallestFree(t *testing.T) {
+	g, err := graph.Star(4) // hub 0 with leaves 1,2,3; hub palette 0..3
+	a := mustNew(t, g, err)
+	cfg := protocol.Configuration{0, 0, 1, 2}
+	if got := a.EnabledAction(cfg, 0); got != ActionRecolor {
+		t.Fatal("conflicted hub not enabled")
+	}
+	if got := a.DeterministicExecute(cfg, 0, ActionRecolor); got != 3 {
+		t.Fatalf("recolor = %d, want 3 (0,1,2 used)", got)
+	}
+	// Leaf 1 conflicts with the hub and recolors to 1 (palette {0,1}).
+	if got := a.DeterministicExecute(cfg, 1, ActionRecolor); got != 1 {
+		t.Fatalf("leaf recolor = %d, want 1", got)
+	}
+}
+
+func TestLegitimateIffTerminalExhaustive(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Ring(4) },
+		func() (*graph.Graph, error) { return graph.Ring(5) },
+		func() (*graph.Graph, error) { return graph.Chain(4) },
+		func() (*graph.Graph, error) { return graph.Star(4) },
+	} {
+		g, err := build()
+		a := mustNew(t, g, err)
+		enc, err := protocol.NewEncoder(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := make(protocol.Configuration, g.N())
+		for idx := int64(0); idx < enc.Total(); idx++ {
+			cfg = enc.Decode(idx, cfg)
+			if a.Legitimate(cfg) != protocol.IsTerminal(a, cfg) {
+				t.Fatalf("%s: legitimate != terminal at %v", g.Name(), cfg)
+			}
+		}
+	}
+}
+
+func TestCentralMoveStrictlyDecreasesConflicts(t *testing.T) {
+	// The potential argument behind central self-stabilization: firing a
+	// single process strictly decreases the number of conflicting edges.
+	g, err := graph.Ring(6)
+	a := mustNew(t, g, err)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		cfg := protocol.RandomConfiguration(a, rng)
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) == 0 {
+			continue
+		}
+		p := enabled[rng.Intn(len(enabled))]
+		before := a.ConflictEdges(cfg)
+		next := protocol.Step(a, cfg, []int{p}, nil)
+		after := a.ConflictEdges(next)
+		if after >= before {
+			t.Fatalf("conflicts %d -> %d after firing %d in %v", before, after, p, cfg)
+		}
+	}
+}
+
+func TestSpectrumAcrossSchedulers(t *testing.T) {
+	// The [14] conflict-manager story on the 4-ring:
+	// central: self-stabilizing; distributed: weak only; synchronous: not
+	// even weak (uniform coloring livelocks).
+	g, err := graph.Ring(4)
+	a := mustNew(t, g, err)
+
+	central, err := checker.Classify(a, scheduler.CentralPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !central.SelfStabilizing() {
+		t.Fatal("coloring must be self-stabilizing under the central scheduler")
+	}
+
+	dist, err := checker.Classify(a, scheduler.DistributedPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist.WeakStabilizing() || dist.SelfStabilizing() {
+		t.Fatalf("coloring under distributed: weak=%v self=%v, want weak only",
+			dist.WeakStabilizing(), dist.SelfStabilizing())
+	}
+
+	sync, err := checker.Classify(a, scheduler.SynchronousPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync.WeakStabilizing() {
+		t.Fatal("coloring must not be weak-stabilizing synchronously (uniform ring livelock)")
+	}
+}
+
+func TestSynchronousLivelockOnUniformRing(t *testing.T) {
+	g, err := graph.Ring(4)
+	a := mustNew(t, g, err)
+	cfg := protocol.Configuration{0, 0, 0, 0}
+	for step := 0; step < 10; step++ {
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) != 4 {
+			t.Fatalf("step %d: enabled = %v", step, enabled)
+		}
+		cfg = protocol.Step(a, cfg, enabled, nil)
+		if a.Legitimate(cfg) {
+			t.Fatalf("step %d: uniform ring converged synchronously", step)
+		}
+	}
+	// All processes chase each other: configuration stays uniform.
+	if cfg[0] != cfg[1] || cfg[1] != cfg[2] || cfg[2] != cfg[3] {
+		t.Fatalf("livelock lost uniformity: %v", cfg)
+	}
+}
+
+func TestTransformedConvergesSynchronously(t *testing.T) {
+	// The conflict-manager result of [14]: coin tosses break the symmetry.
+	g, err := graph.Ring(4)
+	a := mustNew(t, g, err)
+	trans := transformer.New(a)
+	chain, enc, err := markov.FromAlgorithm(trans, scheduler.SynchronousPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := markov.LegitimateTarget(trans, enc)
+	for s, ok := range chain.ReachesWithProbOne(target) {
+		if !ok {
+			t.Fatalf("transformed coloring fails prob-1 from %v", enc.Decode(int64(s), nil))
+		}
+	}
+}
+
+func TestProperColoringUsesAtMostDegPlusOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		g, err := graph.RandomTree(2+rng.Intn(8), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := protocol.RandomConfiguration(a, rng)
+		for steps := 0; steps < 10000 && !a.Legitimate(cfg); steps++ {
+			enabled := protocol.EnabledProcesses(a, cfg)
+			cfg = protocol.Step(a, cfg, []int{enabled[rng.Intn(len(enabled))]}, nil)
+		}
+		if !a.Legitimate(cfg) {
+			t.Fatal("central randomized run did not converge")
+		}
+		for p := 0; p < g.N(); p++ {
+			if cfg[p] > g.Degree(p) {
+				t.Fatalf("color %d exceeds palette at %d", cfg[p], p)
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	g, err := graph.Ring(3)
+	a := mustNew(t, g, err)
+	if a.Name() != "coloring(ring(3))" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	if a.ActionName(ActionRecolor) == "" {
+		t.Fatal("empty action name")
+	}
+}

@@ -1,0 +1,108 @@
+// Package herman implements Herman's probabilistic self-stabilizing token
+// ring (Inf. Process. Lett. 35(2), 1990), the purpose-built probabilistic
+// baseline for the quantitative study (experiment E12).
+//
+// The ring size N must be odd. Every process holds one bit x_i and updates
+// synchronously in every step:
+//
+//	x_i = x_{i-1} (token)  → x_i ← coin (0 or 1 with probability 1/2)
+//	x_i ≠ x_{i-1}          → x_i ← x_{i-1}
+//
+// Process i holds a token iff x_i = x_{i-1}. On an odd ring the number of
+// tokens is always odd (the boundaries between unequal neighbor bits come
+// in pairs), so at least one token exists; adjacent tokens merge, and the
+// expected time to a single token is Θ(N²).
+//
+// Herman's protocol is designed for the synchronous scheduler: every
+// process is enabled in every configuration, and the token-parity argument
+// relies on all processes stepping together. The package rejects nothing at
+// run time, but correctness claims only hold under scheduler.SynchronousPolicy.
+package herman
+
+import (
+	"fmt"
+
+	"weakstab/internal/graph"
+	"weakstab/internal/protocol"
+)
+
+// ActionUpdate is the id of the unique synchronous update action.
+const ActionUpdate = 1
+
+// Algorithm is Herman's ring on an odd number of processes.
+type Algorithm struct {
+	g *graph.Graph
+	n int
+}
+
+var _ protocol.Algorithm = (*Algorithm)(nil)
+
+// New returns Herman's ring on n processes; n must be odd and >= 3.
+func New(n int) (*Algorithm, error) {
+	if n < 3 || n%2 == 0 {
+		return nil, fmt.Errorf("herman: ring size must be odd and >= 3, got %d", n)
+	}
+	g, err := graph.Ring(n)
+	if err != nil {
+		return nil, fmt.Errorf("herman: %w", err)
+	}
+	return &Algorithm{g: g, n: n}, nil
+}
+
+// Name implements protocol.Algorithm.
+func (a *Algorithm) Name() string { return fmt.Sprintf("herman(n=%d)", a.n) }
+
+// Graph implements protocol.Algorithm.
+func (a *Algorithm) Graph() *graph.Graph { return a.g }
+
+// StateCount implements protocol.Algorithm: one bit per process.
+func (a *Algorithm) StateCount(int) int { return 2 }
+
+// pred returns the ring predecessor of p.
+func (a *Algorithm) pred(p int) int { return (p - 1 + a.n) % a.n }
+
+// HasToken reports whether p holds a token (x_p = x_pred).
+func (a *Algorithm) HasToken(cfg protocol.Configuration, p int) bool {
+	return cfg[p] == cfg[a.pred(p)]
+}
+
+// TokenHolders returns the processes holding tokens, ascending.
+func (a *Algorithm) TokenHolders(cfg protocol.Configuration) []int {
+	var out []int
+	for p := 0; p < a.n; p++ {
+		if a.HasToken(cfg, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EnabledAction implements protocol.Algorithm: every process updates in
+// every step (the protocol is fully synchronous).
+func (a *Algorithm) EnabledAction(protocol.Configuration, int) int { return ActionUpdate }
+
+// Outcomes implements protocol.Algorithm: token holders toss a fair coin,
+// the rest copy their predecessor.
+func (a *Algorithm) Outcomes(cfg protocol.Configuration, p, _ int) []protocol.Outcome {
+	if a.HasToken(cfg, p) {
+		return []protocol.Outcome{{State: 0, Prob: 0.5}, {State: 1, Prob: 0.5}}
+	}
+	return protocol.Det(cfg[a.pred(p)])
+}
+
+// ActionName implements protocol.Algorithm.
+func (a *Algorithm) ActionName(int) string { return "update" }
+
+// Legitimate implements protocol.Algorithm: exactly one token.
+func (a *Algorithm) Legitimate(cfg protocol.Configuration) bool {
+	count := 0
+	for p := 0; p < a.n; p++ {
+		if a.HasToken(cfg, p) {
+			count++
+			if count > 1 {
+				return false
+			}
+		}
+	}
+	return count == 1
+}

@@ -1,0 +1,229 @@
+// Package leadertree implements Algorithm 2 of the paper: deterministic
+// weak-stabilizing leader election on anonymous trees using log(Δ) bits per
+// process.
+//
+// Every process p maintains a single pointer Par_p ∈ Neig_p ∪ {⊥}. A
+// process considers itself the leader iff Par_p = ⊥. The three actions are
+//
+//	A1 :: Par_p ≠ ⊥ ∧ |Children_p| = |Neig_p|            → Par_p ← ⊥
+//	A2 :: Par_p ≠ ⊥ ∧ Neig_p \ (Children_p ∪ {Par_p}) ≠ ∅ → Par_p ← (Par_p+1) mod Δ_p
+//	A3 :: Par_p = ⊥ ∧ |Children_p| < |Neig_p|             → Par_p ← min(Neig_p \ Children_p)
+//
+// where Children_p = {q ∈ Neig_p : Par_q = p} and Par arithmetic is over
+// local neighbor indexes. The legitimate configurations LC (Definition 13)
+// have exactly one ⊥-process with every other process oriented toward it;
+// Lemma 10 proves LC coincides with the terminal configurations.
+//
+// The protocol is weak-stabilizing under the distributed strongly fair
+// scheduler (Theorem 4) but not self-stabilizing: Figure 3's synchronous
+// execution on a 4-chain livelocks with period 2, which the tests and
+// experiment E3 reproduce.
+package leadertree
+
+import (
+	"fmt"
+
+	"weakstab/internal/graph"
+	"weakstab/internal/protocol"
+)
+
+// Action ids follow the paper's labels.
+const (
+	ActionA1 = 1 // become leader
+	ActionA2 = 2 // rotate parent pointer
+	ActionA3 = 3 // abdicate to the smallest non-child neighbor
+)
+
+// Algorithm is Algorithm 2 on an anonymous tree. Process p's state encodes
+// Par_p: values 0..Δ_p-1 are parent local indexes, Δ_p encodes ⊥.
+type Algorithm struct {
+	g *graph.Graph
+}
+
+var (
+	_ protocol.Algorithm     = (*Algorithm)(nil)
+	_ protocol.Deterministic = (*Algorithm)(nil)
+)
+
+// New returns Algorithm 2 on the tree g. It returns an error if g is not a
+// tree or has fewer than 2 nodes.
+func New(g *graph.Graph) (*Algorithm, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("leadertree: need at least 2 processes, got %d", g.N())
+	}
+	if !g.IsTree() {
+		return nil, fmt.Errorf("leadertree: graph %s is not a tree", g.Name())
+	}
+	return &Algorithm{g: g}, nil
+}
+
+// Name implements protocol.Algorithm.
+func (a *Algorithm) Name() string { return fmt.Sprintf("leadertree(%s)", a.g.Name()) }
+
+// Graph implements protocol.Algorithm.
+func (a *Algorithm) Graph() *graph.Graph { return a.g }
+
+// StateCount implements protocol.Algorithm: Δ_p parent choices plus ⊥.
+func (a *Algorithm) StateCount(p int) int { return a.g.Degree(p) + 1 }
+
+// Bottom returns the state value encoding ⊥ at p.
+func (a *Algorithm) Bottom(p int) int { return a.g.Degree(p) }
+
+// IsLeader reports whether p considers itself the leader (Par_p = ⊥).
+func (a *Algorithm) IsLeader(cfg protocol.Configuration, p int) bool {
+	return cfg[p] == a.Bottom(p)
+}
+
+// Parent returns the global id of p's parent, or -1 if Par_p = ⊥.
+func (a *Algorithm) Parent(cfg protocol.Configuration, p int) int {
+	if a.IsLeader(cfg, p) {
+		return -1
+	}
+	return a.g.Neighbor(p, cfg[p])
+}
+
+// IsChild reports whether q is a child of p (Par_q = p).
+func (a *Algorithm) IsChild(cfg protocol.Configuration, p, q int) bool {
+	return a.Parent(cfg, q) == p
+}
+
+// Children returns the children of p in ascending order.
+func (a *Algorithm) Children(cfg protocol.Configuration, p int) []int {
+	var out []int
+	for i := 0; i < a.g.Degree(p); i++ {
+		if q := a.g.Neighbor(p, i); a.IsChild(cfg, p, q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func (a *Algorithm) childCount(cfg protocol.Configuration, p int) int {
+	count := 0
+	for i := 0; i < a.g.Degree(p); i++ {
+		if a.IsChild(cfg, p, a.g.Neighbor(p, i)) {
+			count++
+		}
+	}
+	return count
+}
+
+// hasStrayNeighbor reports whether Neig_p \ (Children_p ∪ {Par_p}) ≠ ∅.
+func (a *Algorithm) hasStrayNeighbor(cfg protocol.Configuration, p int) bool {
+	par := a.Parent(cfg, p)
+	for i := 0; i < a.g.Degree(p); i++ {
+		q := a.g.Neighbor(p, i)
+		if q != par && !a.IsChild(cfg, p, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnabledAction implements protocol.Algorithm. The three guards are
+// mutually exclusive, so at most one action is enabled.
+func (a *Algorithm) EnabledAction(cfg protocol.Configuration, p int) int {
+	deg := a.g.Degree(p)
+	if a.IsLeader(cfg, p) {
+		if a.childCount(cfg, p) < deg {
+			return ActionA3
+		}
+		return protocol.Disabled
+	}
+	if a.childCount(cfg, p) == deg {
+		return ActionA1
+	}
+	if a.hasStrayNeighbor(cfg, p) {
+		return ActionA2
+	}
+	return protocol.Disabled
+}
+
+// Outcomes implements protocol.Algorithm.
+func (a *Algorithm) Outcomes(cfg protocol.Configuration, p, action int) []protocol.Outcome {
+	return protocol.Det(a.DeterministicExecute(cfg, p, action))
+}
+
+// DeterministicExecute implements protocol.Deterministic.
+func (a *Algorithm) DeterministicExecute(cfg protocol.Configuration, p, action int) int {
+	switch action {
+	case ActionA1:
+		return a.Bottom(p)
+	case ActionA2:
+		return (cfg[p] + 1) % a.g.Degree(p)
+	case ActionA3:
+		for i := 0; i < a.g.Degree(p); i++ {
+			if !a.IsChild(cfg, p, a.g.Neighbor(p, i)) {
+				return i
+			}
+		}
+		// Unreachable when the A3 guard holds; keep the state unchanged
+		// defensively.
+		return cfg[p]
+	default:
+		return cfg[p]
+	}
+}
+
+// ActionName implements protocol.Algorithm.
+func (a *Algorithm) ActionName(action int) string {
+	switch action {
+	case ActionA1:
+		return "A1(become-leader)"
+	case ActionA2:
+		return "A2(rotate-parent)"
+	case ActionA3:
+		return "A3(abdicate)"
+	default:
+		return fmt.Sprintf("unknown(%d)", action)
+	}
+}
+
+// Leaders returns the processes satisfying isLeader, ascending.
+func (a *Algorithm) Leaders(cfg protocol.Configuration) []int {
+	var out []int
+	for p := 0; p < a.g.N(); p++ {
+		if a.IsLeader(cfg, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Root returns Root(p) (Notation 1): the initial extremity of ParPath(p),
+// obtained by following parent pointers until a ⊥-process or a mutual
+// parent pair is reached.
+func (a *Algorithm) Root(cfg protocol.Configuration, p int) int {
+	cur := p
+	for steps := 0; steps <= a.g.N(); steps++ {
+		par := a.Parent(cfg, cur)
+		if par == -1 {
+			return cur
+		}
+		if a.Parent(cfg, par) == cur {
+			// Mutual pair cur <-> par: the maximal ParPath extends through
+			// par, whose parent (cur) points back at it, so par is the
+			// initial extremity p0 of Definition 12.
+			return par
+		}
+		cur = par
+	}
+	return cur
+}
+
+// Legitimate implements protocol.Algorithm: the predicate LC of
+// Definition 13 — exactly one process with Par = ⊥ and every other process
+// rooted at it.
+func (a *Algorithm) Legitimate(cfg protocol.Configuration) bool {
+	leaders := a.Leaders(cfg)
+	if len(leaders) != 1 {
+		return false
+	}
+	l := leaders[0]
+	for q := 0; q < a.g.N(); q++ {
+		if q != l && a.Root(cfg, q) != l {
+			return false
+		}
+	}
+	return true
+}

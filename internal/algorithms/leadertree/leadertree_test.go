@@ -1,0 +1,425 @@
+package leadertree
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakstab/internal/graph"
+	"weakstab/internal/protocol"
+)
+
+func mustChain(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Chain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustNew(t *testing.T, g *graph.Graph) *Algorithm {
+	t.Helper()
+	a, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// par builds a configuration from explicit global parent ids (-1 for ⊥).
+func par(t *testing.T, a *Algorithm, parents ...int) protocol.Configuration {
+	t.Helper()
+	g := a.Graph()
+	if len(parents) != g.N() {
+		t.Fatalf("need %d parents, got %d", g.N(), len(parents))
+	}
+	cfg := make(protocol.Configuration, g.N())
+	for p, q := range parents {
+		if q == -1 {
+			cfg[p] = a.Bottom(p)
+			continue
+		}
+		i, ok := g.LocalIndex(p, q)
+		if !ok {
+			t.Fatalf("process %d cannot point at non-neighbor %d", p, q)
+		}
+		cfg[p] = i
+	}
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	ring, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ring); err == nil {
+		t.Fatal("New on a ring (not a tree) should fail")
+	}
+	one, err := graph.FromEdges(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(one); err == nil {
+		t.Fatal("New on a single node should fail")
+	}
+}
+
+func TestModelValidates(t *testing.T) {
+	a := mustNew(t, graph.Figure2Tree())
+	if err := protocol.Validate(a, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	a := mustNew(t, mustChain(t, 3))
+	cfg := par(t, a, 1, -1, 1) // 0->1, 1=⊥, 2->1
+	if !a.IsLeader(cfg, 1) || a.IsLeader(cfg, 0) {
+		t.Fatal("IsLeader wrong")
+	}
+	if a.Parent(cfg, 0) != 1 || a.Parent(cfg, 1) != -1 {
+		t.Fatal("Parent wrong")
+	}
+	kids := a.Children(cfg, 1)
+	if len(kids) != 2 || kids[0] != 0 || kids[1] != 2 {
+		t.Fatalf("Children(1) = %v, want [0 2]", kids)
+	}
+	if leaders := a.Leaders(cfg); len(leaders) != 1 || leaders[0] != 1 {
+		t.Fatalf("Leaders = %v", leaders)
+	}
+}
+
+func TestLegitimateStructural(t *testing.T) {
+	a := mustNew(t, mustChain(t, 4))
+	tests := []struct {
+		name    string
+		parents []int
+		want    bool
+	}{
+		{"rooted at 1", []int{1, -1, 1, 2}, true},
+		{"rooted at 0", []int{-1, 0, 1, 2}, true},
+		{"rooted at end", []int{1, 2, 3, -1}, true},
+		{"two leaders", []int{-1, 0, 3, -1}, false},
+		{"no leader mutual pairs", []int{1, 0, 3, 2}, false},
+		{"leader plus stray mutual pair", []int{-1, 0, 3, 2}, false},
+		{"wrong orientation", []int{-1, 2, 1, 2}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := par(t, a, tc.parents...)
+			if got := a.Legitimate(cfg); got != tc.want {
+				t.Fatalf("Legitimate(%v) = %v, want %v", tc.parents, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRootMutualPair(t *testing.T) {
+	a := mustNew(t, mustChain(t, 4))
+	// 2 <-> 3 mutual; 0 -> 1 -> 2.
+	cfg := par(t, a, 1, 2, 3, 2)
+	// Walking up from 0: 1, 2, then parent 3 whose parent is 2: the
+	// initial extremity is 3 per Definition 12.
+	if got := a.Root(cfg, 0); got != 3 {
+		t.Fatalf("Root(0) = %d, want 3", got)
+	}
+	if got := a.Root(cfg, 2); got != 3 {
+		t.Fatalf("Root(2) = %d, want 3", got)
+	}
+	if got := a.Root(cfg, 3); got != 2 {
+		t.Fatalf("Root(3) = %d, want 2", got)
+	}
+}
+
+func TestGuardsAreExclusiveExhaustive(t *testing.T) {
+	// By construction EnabledAction returns at most one action; here we
+	// verify the paper's guard formulas directly against the
+	// implementation over every configuration of the Figure 2 tree.
+	a := mustNew(t, graph.Figure2Tree())
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.Graph()
+	cfg := make(protocol.Configuration, g.N())
+	for idx := int64(0); idx < enc.Total(); idx++ {
+		cfg = enc.Decode(idx, cfg)
+		for p := 0; p < g.N(); p++ {
+			bottom := cfg[p] == a.Bottom(p)
+			all := a.childCount(cfg, p) == g.Degree(p)
+			stray := a.hasStrayNeighbor(cfg, p)
+			a1 := !bottom && all
+			a2 := !bottom && stray
+			a3 := bottom && a.childCount(cfg, p) < g.Degree(p)
+			if a1 && a2 {
+				t.Fatalf("guards A1 and A2 overlap at p=%d in %v", p, cfg)
+			}
+			want := protocol.Disabled
+			switch {
+			case a1:
+				want = ActionA1
+			case a2:
+				want = ActionA2
+			case a3:
+				want = ActionA3
+			}
+			if got := a.EnabledAction(cfg, p); got != want {
+				t.Fatalf("EnabledAction(p=%d, %v) = %d, want %d", p, cfg, got, want)
+			}
+		}
+	}
+}
+
+// figure2Panels returns the five configurations (i)..(v) of Figure 2 as
+// parent-id lists (paper labels P1..P8 are ids 0..7; -1 is ⊥).
+func figure2Panels() [][]int {
+	return [][]int{
+		{1, 0, 1, 4, 6, 7, 4, 5},  // (i)   P1→P2 P2→P1 P3→P2 P4→P5 P5→P7 P6→P8 P7→P5 P8→P6
+		{1, 0, 1, 4, 6, 4, 4, -1}, // (ii)  after {P6:A2, P8:A1}
+		{1, -1, 1, 4, 6, 4, 4, 5}, // (iii) after {P8:A3, P2:A1}
+		{1, -1, 4, 4, 2, 4, 4, 5}, // (iv)  after {P3:A2, P5:A2}
+		{1, 2, 4, 4, -1, 4, 4, 5}, // (v)   after {P2:A3, P5:A1} — terminal
+	}
+}
+
+func TestFigure2ExactExecution(t *testing.T) {
+	// Reproduces Figure 2 panel by panel: the enabled actions of every
+	// panel and the four steps of the paper's possible-convergence
+	// execution.
+	a := mustNew(t, graph.Figure2Tree())
+	panels := figure2Panels()
+
+	type annotation map[int]int // process -> expected enabled action
+	annotations := []annotation{
+		{0: ActionA1, 1: ActionA1, 2: ActionA2, 4: ActionA2, 5: ActionA2, 6: ActionA1, 7: ActionA1}, // (i); P4 stable
+		{0: ActionA1, 1: ActionA1, 2: ActionA2, 4: ActionA2, 5: ActionA2, 6: ActionA1, 7: ActionA3}, // (ii)
+		{2: ActionA2, 4: ActionA2, 6: ActionA1},                                                     // (iii)
+		{1: ActionA3, 2: ActionA2, 4: ActionA1},                                                     // (iv)
+		{},                                                                                          // (v) terminal
+	}
+	steps := [][]int{
+		{5, 7}, // P6, P8
+		{1, 7}, // P2, P8
+		{2, 4}, // P3, P5
+		{1, 4}, // P2, P5
+	}
+
+	cfg := par(t, a, panels[0]...)
+	for panel := 0; panel < 5; panel++ {
+		want := par(t, a, panels[panel]...)
+		if !cfg.Equal(want) {
+			t.Fatalf("panel (%d): configuration %v, want %v", panel+1, cfg, want)
+		}
+		for p := 0; p < 8; p++ {
+			wantAct, ok := annotations[panel][p]
+			if !ok {
+				wantAct = protocol.Disabled
+			}
+			if got := a.EnabledAction(cfg, p); got != wantAct {
+				t.Fatalf("panel (%d): P%d enabled action %s, want %s",
+					panel+1, p+1, a.ActionName(got), a.ActionName(wantAct))
+			}
+		}
+		if panel < 4 {
+			cfg = protocol.Step(a, cfg, steps[panel], nil)
+		}
+	}
+	if !protocol.IsTerminal(a, cfg) {
+		t.Fatal("panel (v) must be terminal")
+	}
+	if !a.Legitimate(cfg) {
+		t.Fatal("panel (v) must be legitimate")
+	}
+	if leaders := a.Leaders(cfg); len(leaders) != 1 || leaders[0] != 4 {
+		t.Fatalf("panel (v) leader = %v, want [P5]", leaders)
+	}
+}
+
+func TestFigure2IntermediateLeaderObservations(t *testing.T) {
+	// The paper's narrative: in (ii) P8 is the unique leader but has no
+	// child; in (iii) P2 is the unique leader.
+	a := mustNew(t, graph.Figure2Tree())
+	panels := figure2Panels()
+	ii := par(t, a, panels[1]...)
+	if leaders := a.Leaders(ii); len(leaders) != 1 || leaders[0] != 7 {
+		t.Fatalf("(ii) leaders = %v, want [P8]", leaders)
+	}
+	if kids := a.Children(ii, 7); len(kids) != 0 {
+		t.Fatalf("(ii) P8 children = %v, want none", kids)
+	}
+	iii := par(t, a, panels[2]...)
+	if leaders := a.Leaders(iii); len(leaders) != 1 || leaders[0] != 1 {
+		t.Fatalf("(iii) leaders = %v, want [P2]", leaders)
+	}
+}
+
+func TestFigure3SynchronousLivelock(t *testing.T) {
+	// Figure 3: on the 4-chain the synchronous execution oscillates with
+	// period 2 between the two drawn configurations and never converges.
+	a := mustNew(t, mustChain(t, 4))
+	ci := par(t, a, 1, 0, 3, 2)    // (i): two mutual pairs
+	cii := par(t, a, -1, 2, 1, -1) // (ii): two leaders at the ends
+
+	cfg := ci.Clone()
+	for step := 0; step < 50; step++ {
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) != 4 {
+			t.Fatalf("step %d: enabled = %v, want all four processes", step, enabled)
+		}
+		cfg = protocol.Step(a, cfg, enabled, nil)
+		want := cii
+		if step%2 == 1 {
+			want = ci
+		}
+		if !cfg.Equal(want) {
+			t.Fatalf("step %d: %v, want %v (period-2 livelock)", step, cfg, want)
+		}
+		if a.Legitimate(cfg) {
+			t.Fatalf("step %d: livelock configuration reported legitimate", step)
+		}
+	}
+}
+
+func TestFigure3EnabledActions(t *testing.T) {
+	a := mustNew(t, mustChain(t, 4))
+	ci := par(t, a, 1, 0, 3, 2)
+	wantI := []int{ActionA1, ActionA2, ActionA2, ActionA1}
+	for p, want := range wantI {
+		if got := a.EnabledAction(ci, p); got != want {
+			t.Fatalf("(i) P%d: %s, want %s", p+1, a.ActionName(got), a.ActionName(want))
+		}
+	}
+	cii := par(t, a, -1, 2, 1, -1)
+	wantII := []int{ActionA3, ActionA2, ActionA2, ActionA3}
+	for p, want := range wantII {
+		if got := a.EnabledAction(cii, p); got != want {
+			t.Fatalf("(ii) P%d: %s, want %s", p+1, a.ActionName(got), a.ActionName(want))
+		}
+	}
+}
+
+func TestLemma10TerminalIffLegitimate(t *testing.T) {
+	// Lemma 10: a configuration satisfies LC iff it is terminal.
+	// Exhaustive over all configurations of several small trees.
+	trees := []*graph.Graph{
+		mustChain(t, 2),
+		mustChain(t, 4),
+		graph.Figure2Tree(),
+	}
+	star, err := graph.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees = append(trees, star)
+	for _, g := range trees {
+		a := mustNew(t, g)
+		enc, err := protocol.NewEncoder(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := make(protocol.Configuration, g.N())
+		legit, terminal := 0, 0
+		for idx := int64(0); idx < enc.Total(); idx++ {
+			cfg = enc.Decode(idx, cfg)
+			l := a.Legitimate(cfg)
+			term := protocol.IsTerminal(a, cfg)
+			if l != term {
+				t.Fatalf("%s: Legitimate=%v Terminal=%v for %v", g.Name(), l, term, cfg)
+			}
+			if l {
+				legit++
+			}
+			if term {
+				terminal++
+			}
+		}
+		if legit == 0 {
+			t.Fatalf("%s: no legitimate configurations found", g.Name())
+		}
+	}
+}
+
+func TestLemma7NoLeaderImpliesA1Enabled(t *testing.T) {
+	// Lemma 7: in any configuration where every process satisfies
+	// ¬isLeader, some process has A1 enabled. Exhaustive on small trees.
+	trees := []*graph.Graph{mustChain(t, 4), mustChain(t, 5), graph.Figure2Tree()}
+	for _, g := range trees {
+		a := mustNew(t, g)
+		enc, err := protocol.NewEncoder(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := make(protocol.Configuration, g.N())
+		for idx := int64(0); idx < enc.Total(); idx++ {
+			cfg = enc.Decode(idx, cfg)
+			if len(a.Leaders(cfg)) > 0 {
+				continue
+			}
+			foundA1 := false
+			for p := 0; p < g.N() && !foundA1; p++ {
+				foundA1 = a.EnabledAction(cfg, p) == ActionA1
+			}
+			if !foundA1 {
+				t.Fatalf("%s: leaderless configuration %v has no A1-enabled process", g.Name(), cfg)
+			}
+		}
+	}
+}
+
+func TestRemark3UniqueLeaderInLC(t *testing.T) {
+	a := mustNew(t, graph.Figure2Tree())
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := make(protocol.Configuration, 8)
+	for idx := int64(0); idx < enc.Total(); idx++ {
+		cfg = enc.Decode(idx, cfg)
+		if a.Legitimate(cfg) && len(a.Leaders(cfg)) != 1 {
+			t.Fatalf("legitimate configuration %v has %d leaders", cfg, len(a.Leaders(cfg)))
+		}
+	}
+}
+
+func TestCentralSchedulerAvoidsFigure3Livelock(t *testing.T) {
+	// The paper's remark after Theorem 7: Algorithm 2 remains
+	// probabilistically self-stabilizing under a central randomized
+	// scheduler — asynchrony breaks the symmetry that the synchronous
+	// scheduler maintains. Run the Figure 3 instance under a central
+	// randomized scheduler and observe convergence from the livelock
+	// configuration.
+	a := mustNew(t, mustChain(t, 4))
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		cfg := par(t, a, 1, 0, 3, 2)
+		converged := false
+		for step := 0; step < 2000; step++ {
+			enabled := protocol.EnabledProcesses(a, cfg)
+			if len(enabled) == 0 {
+				converged = true
+				break
+			}
+			pick := enabled[rng.Intn(len(enabled))]
+			cfg = protocol.Step(a, cfg, []int{pick}, nil)
+		}
+		if !converged {
+			t.Fatalf("trial %d: central randomized scheduler failed to converge", trial)
+		}
+		if !a.Legitimate(cfg) {
+			t.Fatalf("trial %d: terminal configuration %v not legitimate", trial, cfg)
+		}
+	}
+}
+
+func TestActionNames(t *testing.T) {
+	a := mustNew(t, mustChain(t, 2))
+	for _, act := range []int{ActionA1, ActionA2, ActionA3} {
+		if a.ActionName(act) == "" {
+			t.Fatalf("empty name for action %d", act)
+		}
+	}
+	if a.ActionName(99) != "unknown(99)" {
+		t.Fatalf("unknown action name = %q", a.ActionName(99))
+	}
+}

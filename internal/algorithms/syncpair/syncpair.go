@@ -1,0 +1,107 @@
+// Package syncpair implements Algorithm 3 of the paper: a two-process
+// protocol that is deterministically weak-stabilizing under a distributed
+// strongly fair scheduler but requires a "synchronous" step to converge.
+//
+// Both processes hold one boolean B and run
+//
+//	A1 :: ¬B_i ∧ ¬B_j → B_i ← true
+//	A2 ::  B_i ∧ ¬B_j → B_i ← false
+//
+// where j is the other process. The legitimate (and terminal)
+// configuration is B_p ∧ B_q. From (false,false) the only converging step
+// activates BOTH processes simultaneously; a central scheduler can force
+// the livelock (T,F) → (F,F) → (T,F) → ... forever, which is why the
+// paper uses this protocol to show that the §4 transformer must keep
+// synchronous steps possible (it does: all activated processes may win
+// their coin tosses in the same step).
+package syncpair
+
+import (
+	"fmt"
+
+	"weakstab/internal/graph"
+	"weakstab/internal/protocol"
+)
+
+// Action ids follow the paper's labels.
+const (
+	ActionA1 = 1 // B_i ← true  (both false)
+	ActionA2 = 2 // B_i ← false (i true, j false)
+)
+
+// Boolean state encoding.
+const (
+	False = 0
+	True  = 1
+)
+
+// Algorithm is Algorithm 3 on the two-process chain.
+type Algorithm struct {
+	g *graph.Graph
+}
+
+var (
+	_ protocol.Algorithm     = (*Algorithm)(nil)
+	_ protocol.Deterministic = (*Algorithm)(nil)
+)
+
+// New returns Algorithm 3.
+func New() (*Algorithm, error) {
+	g, err := graph.Chain(2)
+	if err != nil {
+		return nil, fmt.Errorf("syncpair: %w", err)
+	}
+	return &Algorithm{g: g}, nil
+}
+
+// Name implements protocol.Algorithm.
+func (a *Algorithm) Name() string { return "syncpair" }
+
+// Graph implements protocol.Algorithm.
+func (a *Algorithm) Graph() *graph.Graph { return a.g }
+
+// StateCount implements protocol.Algorithm.
+func (a *Algorithm) StateCount(int) int { return 2 }
+
+// EnabledAction implements protocol.Algorithm.
+func (a *Algorithm) EnabledAction(cfg protocol.Configuration, p int) int {
+	j := 1 - p
+	switch {
+	case cfg[p] == False && cfg[j] == False:
+		return ActionA1
+	case cfg[p] == True && cfg[j] == False:
+		return ActionA2
+	default:
+		return protocol.Disabled
+	}
+}
+
+// Outcomes implements protocol.Algorithm.
+func (a *Algorithm) Outcomes(cfg protocol.Configuration, p, action int) []protocol.Outcome {
+	return protocol.Det(a.DeterministicExecute(cfg, p, action))
+}
+
+// DeterministicExecute implements protocol.Deterministic.
+func (a *Algorithm) DeterministicExecute(_ protocol.Configuration, _, action int) int {
+	if action == ActionA1 {
+		return True
+	}
+	return False
+}
+
+// ActionName implements protocol.Algorithm.
+func (a *Algorithm) ActionName(action int) string {
+	switch action {
+	case ActionA1:
+		return "A1(raise)"
+	case ActionA2:
+		return "A2(lower)"
+	default:
+		return fmt.Sprintf("unknown(%d)", action)
+	}
+}
+
+// Legitimate implements protocol.Algorithm: B_p ∧ B_q.
+func (a *Algorithm) Legitimate(cfg protocol.Configuration) bool {
+	return cfg[0] == True && cfg[1] == True
+}

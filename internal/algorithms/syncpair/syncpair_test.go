@@ -1,0 +1,115 @@
+package syncpair
+
+import (
+	"testing"
+
+	"weakstab/internal/protocol"
+)
+
+func mustNew(t *testing.T) *Algorithm {
+	t.Helper()
+	a, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestModelValidates(t *testing.T) {
+	if err := protocol.Validate(mustNew(t), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuards(t *testing.T) {
+	a := mustNew(t)
+	tests := []struct {
+		cfg   protocol.Configuration
+		want0 int
+		want1 int
+	}{
+		{protocol.Configuration{False, False}, ActionA1, ActionA1},
+		{protocol.Configuration{True, False}, ActionA2, protocol.Disabled},
+		{protocol.Configuration{False, True}, protocol.Disabled, ActionA2},
+		{protocol.Configuration{True, True}, protocol.Disabled, protocol.Disabled},
+	}
+	for _, tc := range tests {
+		if got := a.EnabledAction(tc.cfg, 0); got != tc.want0 {
+			t.Errorf("EnabledAction(%v, 0) = %d, want %d", tc.cfg, got, tc.want0)
+		}
+		if got := a.EnabledAction(tc.cfg, 1); got != tc.want1 {
+			t.Errorf("EnabledAction(%v, 1) = %d, want %d", tc.cfg, got, tc.want1)
+		}
+	}
+}
+
+func TestLegitimateOnlyTrueTrue(t *testing.T) {
+	a := mustNew(t)
+	if !a.Legitimate(protocol.Configuration{True, True}) {
+		t.Fatal("(T,T) must be legitimate")
+	}
+	for _, cfg := range []protocol.Configuration{{False, False}, {True, False}, {False, True}} {
+		if a.Legitimate(cfg) {
+			t.Fatalf("%v must not be legitimate", cfg)
+		}
+	}
+	if !protocol.IsTerminal(a, protocol.Configuration{True, True}) {
+		t.Fatal("(T,T) must be terminal")
+	}
+}
+
+func TestSynchronousStepConverges(t *testing.T) {
+	// The paper: from (F,F) the step activating both processes reaches the
+	// terminal configuration (T,T).
+	a := mustNew(t)
+	cfg := protocol.Step(a, protocol.Configuration{False, False}, []int{0, 1}, nil)
+	if !a.Legitimate(cfg) {
+		t.Fatalf("synchronous step from (F,F) gave %v, want (T,T)", cfg)
+	}
+}
+
+func TestCentralAdversaryLivelocksForever(t *testing.T) {
+	// The central scheduler can alternate A1/A2 of a single process and
+	// never converge: (F,F) -> (T,F) -> (F,F) -> ...
+	a := mustNew(t)
+	cfg := protocol.Configuration{False, False}
+	for step := 0; step < 40; step++ {
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) == 0 {
+			t.Fatalf("step %d: unexpectedly terminal at %v", step, cfg)
+		}
+		cfg = protocol.Step(a, cfg, []int{enabled[0]}, nil)
+		if a.Legitimate(cfg) {
+			t.Fatalf("step %d: single-process steps should never converge", step)
+		}
+	}
+}
+
+func TestAsymmetricStatesFunnelToFalseFalse(t *testing.T) {
+	// From (T,F) or (F,T) the unique enabled process lowers its flag: the
+	// system deterministically reaches (F,F) in one step.
+	a := mustNew(t)
+	for _, cfg := range []protocol.Configuration{{True, False}, {False, True}} {
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) != 1 {
+			t.Fatalf("%v: enabled = %v, want exactly one", cfg, enabled)
+		}
+		next := protocol.Step(a, cfg, enabled, nil)
+		if !next.Equal(protocol.Configuration{False, False}) {
+			t.Fatalf("%v -> %v, want (F,F)", cfg, next)
+		}
+	}
+}
+
+func TestActionNames(t *testing.T) {
+	a := mustNew(t)
+	if a.ActionName(ActionA1) == "" || a.ActionName(ActionA2) == "" {
+		t.Fatal("empty action names")
+	}
+	if a.ActionName(9) != "unknown(9)" {
+		t.Fatalf("unknown name = %q", a.ActionName(9))
+	}
+	if a.Name() != "syncpair" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}

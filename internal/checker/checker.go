@@ -1,0 +1,374 @@
+// Package checker decides the paper's stabilization properties exactly by
+// exhaustive exploration of the finite configuration space of an algorithm
+// under a scheduler policy:
+//
+//   - strong closure (Definitions 1–3): every step from a legitimate
+//     configuration leads to a legitimate configuration;
+//   - possible convergence (Definition 3, weak stabilization): from every
+//     configuration some execution reaches L;
+//   - certain convergence (Definition 1, self-stabilization): every
+//     execution reaches L — equivalently, the non-legitimate subgraph has
+//     no terminal configuration and no cycle;
+//   - strongly fair refutation (Theorems 2/6): a cycle through illegitimate
+//     configurations that activates every process it ever enables — an
+//     infinite strongly fair execution that never converges.
+//
+// Verdicts carry machine-checkable witnesses (paths and lassos) that the
+// experiments and the stabcheck CLI print.
+package checker
+
+import (
+	"fmt"
+	"math"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// Space is the explored transition system of an algorithm under a policy.
+type Space struct {
+	Alg    protocol.Algorithm
+	Pol    scheduler.Policy
+	Enc    *protocol.Encoder
+	Legit  []bool    // Legit[s]: configuration s is legitimate
+	Succs  [][]int32 // deduplicated successor state indices
+	States int
+}
+
+// Explore enumerates every configuration and its successors under every
+// activation subset the policy allows (and every probabilistic outcome).
+// maxStates caps the space (0 means 1<<21).
+func Explore(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Space, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 21
+	}
+	enc, err := protocol.NewEncoder(a, maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("checker: %w", err)
+	}
+	total := int(enc.Total())
+	sp := &Space{
+		Alg:    a,
+		Pol:    pol,
+		Enc:    enc,
+		Legit:  make([]bool, total),
+		Succs:  make([][]int32, total),
+		States: total,
+	}
+	cfg := make(protocol.Configuration, a.Graph().N())
+	seen := map[int32]bool{}
+	for s := 0; s < total; s++ {
+		cfg = enc.Decode(int64(s), cfg)
+		sp.Legit[s] = a.Legitimate(cfg)
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) == 0 {
+			continue
+		}
+		clear(seen)
+		var succs []int32
+		for _, sub := range pol.Subsets(enabled) {
+			for _, out := range protocol.StepOutcomes(a, cfg, sub) {
+				t := int32(enc.Encode(out.Config))
+				if !seen[t] {
+					seen[t] = true
+					succs = append(succs, t)
+				}
+			}
+		}
+		sp.Succs[s] = succs
+	}
+	return sp, nil
+}
+
+// Config decodes state index s.
+func (sp *Space) Config(s int) protocol.Configuration {
+	return sp.Enc.Decode(int64(s), nil)
+}
+
+// IsTerminal reports whether state s has no successors.
+func (sp *Space) IsTerminal(s int) bool { return len(sp.Succs[s]) == 0 }
+
+// ClosureResult reports on the strong closure property.
+type ClosureResult struct {
+	Holds bool
+	// From/To witness a violating step when Holds is false.
+	From, To protocol.Configuration
+}
+
+// CheckClosure verifies strong closure: every successor of a legitimate
+// state is legitimate.
+func (sp *Space) CheckClosure() ClosureResult {
+	for s := 0; s < sp.States; s++ {
+		if !sp.Legit[s] {
+			continue
+		}
+		for _, t := range sp.Succs[s] {
+			if !sp.Legit[t] {
+				return ClosureResult{From: sp.Config(s), To: sp.Config(int(t))}
+			}
+		}
+	}
+	return ClosureResult{Holds: true}
+}
+
+// ConvergenceResult reports on a convergence property.
+type ConvergenceResult struct {
+	Holds bool
+	// Counterexample is a configuration from which the property fails
+	// (no possible path to L, or the start of a diverging execution).
+	Counterexample protocol.Configuration
+	// Reason is a short human-readable explanation.
+	Reason string
+}
+
+// CheckPossibleConvergence verifies Definition 3's possible convergence:
+// from every configuration some execution reaches a legitimate
+// configuration (reverse reachability from L).
+func (sp *Space) CheckPossibleConvergence() ConvergenceResult {
+	canReach := sp.reverseReach()
+	for s := 0; s < sp.States; s++ {
+		if !canReach[s] {
+			return ConvergenceResult{
+				Counterexample: sp.Config(s),
+				Reason:         "no execution from this configuration reaches L",
+			}
+		}
+	}
+	return ConvergenceResult{Holds: true}
+}
+
+// reverseReach returns, per state, whether L is reachable.
+func (sp *Space) reverseReach() []bool {
+	rev := make([][]int32, sp.States)
+	for s := 0; s < sp.States; s++ {
+		for _, t := range sp.Succs[s] {
+			if int(t) != s {
+				rev[t] = append(rev[t], int32(s))
+			}
+		}
+	}
+	out := make([]bool, sp.States)
+	var stack []int32
+	for s := 0; s < sp.States; s++ {
+		if sp.Legit[s] {
+			out[s] = true
+			stack = append(stack, int32(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pre := range rev[s] {
+			if !out[pre] {
+				out[pre] = true
+				stack = append(stack, pre)
+			}
+		}
+	}
+	return out
+}
+
+// CheckCertainConvergence verifies Definition 1's certain convergence:
+// every execution reaches L in finite time. It fails on an illegitimate
+// terminal configuration (deadlock outside L) or on a cycle through
+// illegitimate configurations (a diverging execution).
+func (sp *Space) CheckCertainConvergence() ConvergenceResult {
+	for s := 0; s < sp.States; s++ {
+		if !sp.Legit[s] && sp.IsTerminal(s) {
+			return ConvergenceResult{
+				Counterexample: sp.Config(s),
+				Reason:         "terminal configuration outside L",
+			}
+		}
+	}
+	if cyc := sp.findIllegitimateCycle(); cyc != nil {
+		return ConvergenceResult{
+			Counterexample: sp.Config(cyc[0]),
+			Reason:         fmt.Sprintf("cycle of length %d outside L", len(cyc)),
+		}
+	}
+	return ConvergenceResult{Holds: true}
+}
+
+// findIllegitimateCycle returns a cycle (state sequence, first == last
+// implied) within the illegitimate subgraph, or nil. Iterative
+// three-color DFS.
+func (sp *Space) findIllegitimateCycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, sp.States)
+	parent := make([]int32, sp.States)
+	for i := range parent {
+		parent[i] = -1
+	}
+	type frame struct {
+		state int32
+		next  int
+	}
+	for root := 0; root < sp.States; root++ {
+		if sp.Legit[root] || color[root] != white {
+			continue
+		}
+		stack := []frame{{state: int32(root)}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succs := sp.Succs[f.state]
+			advanced := false
+			for f.next < len(succs) {
+				t := succs[f.next]
+				f.next++
+				if sp.Legit[t] {
+					continue
+				}
+				switch color[t] {
+				case white:
+					color[t] = gray
+					parent[t] = f.state
+					stack = append(stack, frame{state: t})
+					advanced = true
+				case gray:
+					// Found a cycle t -> ... -> f.state -> t.
+					cyc := []int{int(t)}
+					for cur := f.state; cur != t; cur = parent[cur] {
+						cyc = append(cyc, int(cur))
+					}
+					// Reverse to forward order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced && f.next >= len(succs) {
+				color[f.state] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// Verdict is the full classification of an algorithm instance under one
+// scheduler policy.
+type Verdict struct {
+	Algorithm string
+	Policy    string
+	States    int
+	Closure   ClosureResult
+	Possible  ConvergenceResult // weak stabilization = Closure && Possible
+	Certain   ConvergenceResult // self stabilization = Closure && Certain
+}
+
+// WeakStabilizing reports Definition 3.
+func (v Verdict) WeakStabilizing() bool { return v.Closure.Holds && v.Possible.Holds }
+
+// SelfStabilizing reports Definition 1.
+func (v Verdict) SelfStabilizing() bool { return v.Closure.Holds && v.Certain.Holds }
+
+// Classify explores the algorithm under the policy and evaluates all
+// properties.
+func Classify(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (Verdict, error) {
+	sp, err := Explore(a, pol, maxStates)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{
+		Algorithm: a.Name(),
+		Policy:    pol.Name(),
+		States:    sp.States,
+		Closure:   sp.CheckClosure(),
+		Possible:  sp.CheckPossibleConvergence(),
+		Certain:   sp.CheckCertainConvergence(),
+	}, nil
+}
+
+// WitnessPath returns a shortest execution (as configurations) from the
+// given configuration to a legitimate one, or nil if none exists. The
+// first element is the start configuration.
+func (sp *Space) WitnessPath(from protocol.Configuration) []protocol.Configuration {
+	start := int32(sp.Enc.Encode(from))
+	if sp.Legit[start] {
+		return []protocol.Configuration{from.Clone()}
+	}
+	parent := make([]int32, sp.States)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[start] = -1
+	queue := []int32{start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range sp.Succs[s] {
+			if parent[t] != -2 {
+				continue
+			}
+			parent[t] = s
+			if sp.Legit[t] {
+				var rev []int32
+				for cur := t; cur != -1; cur = parent[cur] {
+					rev = append(rev, cur)
+				}
+				path := make([]protocol.Configuration, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, sp.Config(int(rev[i])))
+				}
+				return path
+			}
+			queue = append(queue, t)
+		}
+	}
+	return nil
+}
+
+// MaxShortestConvergencePath returns the maximum over all configurations
+// of the shortest path length to L (the "optimistic" stabilization radius
+// of the instance), or math.Inf(1) if some configuration cannot reach L.
+func (sp *Space) MaxShortestConvergencePath() float64 {
+	dist := make([]int32, sp.States)
+	for i := range dist {
+		dist[i] = -1
+	}
+	rev := make([][]int32, sp.States)
+	for s := 0; s < sp.States; s++ {
+		for _, t := range sp.Succs[s] {
+			if int(t) != s {
+				rev[t] = append(rev[t], int32(s))
+			}
+		}
+	}
+	var queue []int32
+	for s := 0; s < sp.States; s++ {
+		if sp.Legit[s] {
+			dist[s] = 0
+			queue = append(queue, int32(s))
+		}
+	}
+	maxD := int32(0)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, pre := range rev[s] {
+			if dist[pre] == -1 {
+				dist[pre] = dist[s] + 1
+				if dist[pre] > maxD {
+					maxD = dist[pre]
+				}
+				queue = append(queue, pre)
+			}
+		}
+	}
+	for s := 0; s < sp.States; s++ {
+		if dist[s] == -1 {
+			return math.Inf(1)
+		}
+	}
+	return float64(maxD)
+}

@@ -1,0 +1,270 @@
+package checker
+
+import (
+	"sort"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// FairLasso is a witness refuting self-stabilization under the strongly
+// fair scheduler: a closed walk through illegitimate configurations that
+// activates every process it ever enables, so that repeating it forever is
+// a strongly fair execution never reaching L.
+type FairLasso struct {
+	Found bool
+	// Cycle holds the walk's configurations; step i goes from Cycle[i] to
+	// Cycle[i+1], and the walk closes from the last back to the first.
+	Cycle []protocol.Configuration
+	// Records are the per-step enabled/chosen sets of the walk.
+	Records []scheduler.StepRecord
+}
+
+// FindStronglyFairLasso searches the illegitimate subgraph for a strongly
+// fair non-converging lasso. It decomposes the subgraph into strongly
+// connected components and, for each component containing a cycle, builds a
+// closed walk covering every internal edge; if that walk activates every
+// process it enables, it is returned as a witness.
+//
+// The check is sufficient but not necessary: a component may still contain
+// a fair sub-cycle that the all-edges walk misses. For the paper's
+// instances (Theorem 6's two-token rings, Figure 3's chain) the walk is
+// found. Only deterministic algorithms are supported (the activation subset
+// of an edge must be recoverable).
+func (sp *Space) FindStronglyFairLasso() FairLasso {
+	det, ok := sp.Alg.(protocol.Deterministic)
+	if !ok {
+		return FairLasso{}
+	}
+	comp := sp.sccs()
+	// Group states per component; iterate components in ascending id
+	// order so witnesses are deterministic across runs.
+	members := map[int32][]int32{}
+	var order []int32
+	for s, c := range comp {
+		if !sp.Legit[s] {
+			if members[c] == nil {
+				order = append(order, c)
+			}
+			members[c] = append(members[c], int32(s))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, c := range order {
+		states := members[c]
+		if !sp.componentHasCycle(states, comp) {
+			continue
+		}
+		if lasso := sp.tryComponentWalk(det, states, comp); lasso.Found {
+			return lasso
+		}
+	}
+	return FairLasso{}
+}
+
+// sccs runs an iterative Tarjan over the illegitimate subgraph and returns
+// the component id of every state (legitimate states get -1).
+func (sp *Space) sccs() []int32 {
+	const none = int32(-1)
+	n := sp.States
+	comp := make([]int32, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range comp {
+		comp[i] = none
+		index[i] = none
+	}
+	var (
+		counter int32
+		nextCmp int32
+		tstack  []int32
+	)
+	type frame struct {
+		v    int32
+		next int
+	}
+	for root := 0; root < n; root++ {
+		if sp.Legit[root] || index[root] != none {
+			continue
+		}
+		stack := []frame{{v: int32(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		tstack = append(tstack, int32(root))
+		onStack[root] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succs := sp.Succs[f.v]
+			recursed := false
+			for f.next < len(succs) {
+				w := succs[f.next]
+				f.next++
+				if sp.Legit[w] {
+					continue
+				}
+				if index[w] == none {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					tstack = append(tstack, w)
+					onStack[w] = true
+					stack = append(stack, frame{v: w})
+					recursed = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if recursed {
+				continue
+			}
+			if f.next >= len(succs) {
+				v := f.v
+				if low[v] == index[v] {
+					for {
+						w := tstack[len(tstack)-1]
+						tstack = tstack[:len(tstack)-1]
+						onStack[w] = false
+						comp[w] = nextCmp
+						if w == v {
+							break
+						}
+					}
+					nextCmp++
+				}
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					p := stack[len(stack)-1].v
+					if low[v] < low[p] {
+						low[p] = low[v]
+					}
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// componentHasCycle reports whether the component contains a cycle: more
+// than one state, or a single state with a self-loop.
+func (sp *Space) componentHasCycle(states []int32, comp []int32) bool {
+	if len(states) > 1 {
+		return true
+	}
+	s := states[0]
+	for _, t := range sp.Succs[s] {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+// tryComponentWalk builds a closed walk covering every internal edge of the
+// component and checks strong fairness of the induced records.
+func (sp *Space) tryComponentWalk(det protocol.Deterministic, states []int32, comp []int32) FairLasso {
+	inComp := map[int32]bool{}
+	for _, s := range states {
+		inComp[s] = true
+	}
+	cid := comp[states[0]]
+	// Collect internal edges.
+	type edge struct{ from, to int32 }
+	var edges []edge
+	for _, s := range states {
+		for _, t := range sp.Succs[s] {
+			if comp[t] == cid && inComp[t] {
+				edges = append(edges, edge{from: s, to: t})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return FairLasso{}
+	}
+	// Build the walk: start anywhere, repeatedly path to the next uncovered
+	// edge's source, traverse it, finally path back to the start.
+	start := edges[0].from
+	cur := start
+	var walk []int32
+	walk = append(walk, cur)
+	for _, e := range edges {
+		for _, step := range sp.pathWithin(cur, e.from, inComp) {
+			walk = append(walk, step)
+		}
+		walk = append(walk, e.to)
+		cur = e.to
+	}
+	for _, step := range sp.pathWithin(cur, start, inComp) {
+		walk = append(walk, step)
+	}
+	// Induce step records: for each consecutive pair, find an activation
+	// subset producing it.
+	var records []scheduler.StepRecord
+	var cycle []protocol.Configuration
+	for i := 0; i+1 < len(walk); i++ {
+		s, t := walk[i], walk[i+1]
+		cfg := sp.Config(int(s))
+		enabled := protocol.EnabledProcesses(sp.Alg, cfg)
+		chosen := sp.findSubset(det, cfg, enabled, t)
+		if chosen == nil {
+			return FairLasso{}
+		}
+		records = append(records, scheduler.StepRecord{Enabled: enabled, Chosen: chosen})
+		cycle = append(cycle, cfg)
+	}
+	if !scheduler.StronglyFairCycle(records) {
+		return FairLasso{}
+	}
+	return FairLasso{Found: true, Cycle: cycle, Records: records}
+}
+
+// pathWithin returns the interior+destination states of a shortest path
+// from src to dst staying inside the component (empty if src == dst).
+func (sp *Space) pathWithin(src, dst int32, inComp map[int32]bool) []int32 {
+	if src == dst {
+		return nil
+	}
+	parent := map[int32]int32{src: -1}
+	queue := []int32{src}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range sp.Succs[s] {
+			if !inComp[t] {
+				continue
+			}
+			if _, seen := parent[t]; seen {
+				continue
+			}
+			parent[t] = s
+			if t == dst {
+				var rev []int32
+				for cur := t; cur != src; cur = parent[cur] {
+					rev = append(rev, cur)
+				}
+				out := make([]int32, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					out = append(out, rev[i])
+				}
+				return out
+			}
+			queue = append(queue, t)
+		}
+	}
+	return nil
+}
+
+// findSubset returns an activation subset of enabled that steps cfg to the
+// state index want, or nil.
+func (sp *Space) findSubset(det protocol.Deterministic, cfg protocol.Configuration, enabled []int, want int32) []int {
+	for _, sub := range sp.Pol.Subsets(enabled) {
+		next := protocol.Step(det, cfg, sub, nil)
+		if int32(sp.Enc.Encode(next)) == want {
+			return sub
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package checker
+
+// Fault-distance analysis, after the k-stabilization literature the paper
+// contrasts itself with (Beauquier–Genolini–Kutten 1998; Genolini–Tixeuil
+// 2002): the number of faults needed to produce a configuration is the
+// number of process memories that must change to reach a legitimate
+// configuration. DistanceToLegitimate computes that Hamming-like distance
+// for every configuration; KFaultVerdict restricts the paper's convergence
+// properties to configurations reachable by at most k faults.
+
+import (
+	"weakstab/internal/protocol"
+)
+
+// DistanceToLegitimate returns, for every configuration index, the minimum
+// number of process states that must change to obtain a legitimate
+// configuration (0 on L itself). It runs a multi-source BFS from L over
+// single-process mutations, so the cost is O(states × Σ_p |domain_p|).
+func (sp *Space) DistanceToLegitimate() []int {
+	n := sp.Alg.Graph().N()
+	dist := make([]int, sp.States)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < sp.States; s++ {
+		if sp.Legit[s] {
+			dist[s] = 0
+			queue = append(queue, int32(s))
+		}
+	}
+	cfg := make(protocol.Configuration, n)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		cfg = sp.Enc.Decode(int64(s), cfg)
+		d := dist[s]
+		for p := 0; p < n; p++ {
+			orig := cfg[p]
+			for v := 0; v < sp.Alg.StateCount(p); v++ {
+				if v == orig {
+					continue
+				}
+				cfg[p] = v
+				t := sp.Enc.Encode(cfg)
+				if dist[t] == -1 {
+					dist[t] = d + 1
+					queue = append(queue, int32(t))
+				}
+			}
+			cfg[p] = orig
+		}
+	}
+	return dist
+}
+
+// KFaultVerdict reports the convergence properties restricted to the
+// configurations at fault distance at most k from L.
+type KFaultVerdict struct {
+	K int
+	// Configs counts configurations within distance k (including L).
+	Configs int
+	// Possible: every such configuration can reach L.
+	Possible bool
+	// Certain: every execution from every such configuration reaches L.
+	// Note that intermediate configurations may leave the distance-k ball;
+	// the property quantifies only over initial configurations, exactly as
+	// k-stabilization does.
+	Certain bool
+	// Counterexample, when Certain is false, is an initial configuration
+	// within distance k admitting a diverging execution.
+	Counterexample protocol.Configuration
+}
+
+// CheckKFaults evaluates KFaultVerdict for the given k using a
+// precomputed distance vector (pass nil to compute it).
+func (sp *Space) CheckKFaults(k int, dist []int) KFaultVerdict {
+	if dist == nil {
+		dist = sp.DistanceToLegitimate()
+	}
+	v := KFaultVerdict{K: k, Possible: true, Certain: true}
+	canReach := sp.reverseReach()
+	diverging := sp.divergingStates()
+	for s := 0; s < sp.States; s++ {
+		if dist[s] < 0 || dist[s] > k {
+			continue
+		}
+		v.Configs++
+		if !canReach[s] {
+			v.Possible = false
+		}
+		if diverging[s] && v.Certain {
+			v.Certain = false
+			v.Counterexample = sp.Config(s)
+		}
+	}
+	return v
+}
+
+// divergingStates marks states from which some execution avoids L forever:
+// states that can reach (via illegitimate states) an illegitimate cycle or
+// an illegitimate terminal state.
+func (sp *Space) divergingStates() []bool {
+	// Seed: illegitimate terminal states and states on illegitimate
+	// cycles. A state s lies on an illegitimate cycle iff its SCC (within
+	// the illegitimate subgraph) has a cycle.
+	comp := sp.sccs()
+	members := map[int32][]int32{}
+	for s, c := range comp {
+		if c >= 0 {
+			members[c] = append(members[c], int32(s))
+		}
+	}
+	bad := make([]bool, sp.States)
+	for _, states := range members {
+		if sp.componentHasCycle(states, comp) {
+			for _, s := range states {
+				bad[s] = true
+			}
+		}
+	}
+	for s := 0; s < sp.States; s++ {
+		if !sp.Legit[s] && sp.IsTerminal(s) {
+			bad[s] = true
+		}
+	}
+	// Backward closure through illegitimate states.
+	rev := make([][]int32, sp.States)
+	for s := 0; s < sp.States; s++ {
+		if sp.Legit[s] {
+			continue
+		}
+		for _, t := range sp.Succs[s] {
+			if int(t) != s {
+				rev[t] = append(rev[t], int32(s))
+			}
+		}
+	}
+	var stack []int32
+	for s, b := range bad {
+		if b {
+			stack = append(stack, int32(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pre := range rev[s] {
+			if !bad[pre] {
+				bad[pre] = true
+				stack = append(stack, pre)
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,116 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildAllAlgorithms(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		want string // substring of the algorithm's Name()
+	}{
+		{"tokenring", Spec{Algorithm: "tokenring", N: 5}, "tokenring(n=5,m=2)"},
+		{"tokenring modulus", Spec{Algorithm: "tokenring", N: 6, K: 3}, "tokenring(n=6,m=3)"},
+		{"leadertree chain", Spec{Algorithm: "leadertree", N: 4}, "leadertree(chain(4))"},
+		{"leadertree star", Spec{Algorithm: "leadertree", N: 5, Topology: "star"}, "star(5)"},
+		{"leadertree random", Spec{Algorithm: "leadertree", N: 6, Topology: "random", Seed: 3}, "tree(6)"},
+		{"leadertree figure2", Spec{Algorithm: "leadertree", Topology: "figure2"}, "figure2-tree(8)"},
+		{"centerelector", Spec{Algorithm: "centerelector", N: 4}, "centerelector"},
+		{"centerfinder", Spec{Algorithm: "centerfinder", N: 4}, "centerfinder"},
+		{"syncpair", Spec{Algorithm: "syncpair"}, "syncpair"},
+		{"dijkstra default k", Spec{Algorithm: "dijkstra", N: 4}, "dijkstra(n=4,k=4)"},
+		{"dijkstra explicit k", Spec{Algorithm: "dijkstra", N: 4, K: 6}, "dijkstra(n=4,k=6)"},
+		{"herman", Spec{Algorithm: "herman", N: 5}, "herman(n=5)"},
+		{"case insensitive", Spec{Algorithm: "TokenRing", N: 5}, "tokenring"},
+		{"transformed", Spec{Algorithm: "tokenring", N: 5, Transform: true}, "trans(tokenring(n=5,m=2),p=0.5)"},
+		{"transformed biased", Spec{Algorithm: "syncpair", Transform: true, Bias: 0.25}, "p=0.25"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := tc.spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(a.Name(), tc.want) {
+				t.Fatalf("Name = %q, want substring %q", a.Name(), tc.want)
+			}
+		})
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	bad := []Spec{
+		{Algorithm: "nope", N: 4},
+		{Algorithm: "tokenring", N: 2},
+		{Algorithm: "leadertree", N: 4, Topology: "moebius"},
+		{Algorithm: "herman", N: 4},                  // even
+		{Algorithm: "herman", N: 5, Transform: true}, // already probabilistic
+		{Algorithm: "tokenring", N: 5, Transform: true, Bias: 2},
+	}
+	for _, spec := range bad {
+		if _, err := spec.Build(); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestBuildScheduler(t *testing.T) {
+	for name, want := range map[string]string{
+		"":            "central-randomized",
+		"central":     "central-randomized",
+		"distributed": "distributed-randomized",
+		"dist":        "distributed-randomized",
+		"sync":        "synchronous",
+		"roundrobin":  "round-robin",
+		"lexmin":      "lex-min",
+	} {
+		s, err := BuildScheduler(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != want {
+			t.Fatalf("BuildScheduler(%q) = %q, want %q", name, s.Name(), want)
+		}
+	}
+	if _, err := BuildScheduler("quantum"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestBuildPolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"":            "central",
+		"central":     "central",
+		"distributed": "distributed",
+		"sync":        "synchronous",
+	} {
+		p, err := BuildPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != want {
+			t.Fatalf("BuildPolicy(%q) = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := BuildPolicy("quantum"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	names := Algorithms()
+	if len(names) < 6 {
+		t.Fatalf("algorithm list too short: %v", names)
+	}
+	for _, name := range names {
+		spec := Spec{Algorithm: name, N: 5}
+		if name == "herman" {
+			spec.N = 5
+		}
+		if _, err := spec.Build(); err != nil {
+			t.Fatalf("listed algorithm %q does not build: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package core is the paper's contribution as an executable decision
+// procedure: given an algorithm instance and a scheduler policy, it decides
+// exactly where the instance sits in the stabilization hierarchy of
+// Definitions 1–3,
+//
+//	deterministic self-stabilizing
+//	  ⊂ probabilistically self-stabilizing (randomized scheduler, Def 2+6)
+//	  ⊂ deterministically weak-stabilizing (Def 3)
+//
+// combining the exhaustive checker (closure, possible and certain
+// convergence, strongly fair lassos) with the exact Markov analysis
+// (probability-1 convergence, expected stabilization times). By Theorem 7,
+// the probabilistic verdict also decides self-stabilization under Gouda's
+// strong fairness, which is how the paper reconciles Theorem 5 with the
+// strictness results of Section 3.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"weakstab/internal/checker"
+	"weakstab/internal/markov"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// Class is a stabilization class.
+type Class int
+
+// Classes are ordered from strongest to weakest; None means the instance
+// is not even weak-stabilizing under the policy.
+const (
+	ClassSelf Class = iota + 1
+	ClassProbabilistic
+	ClassWeak
+	ClassNone
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassSelf:
+		return "deterministic self-stabilizing"
+	case ClassProbabilistic:
+		return "probabilistically self-stabilizing"
+	case ClassWeak:
+		return "weak-stabilizing"
+	case ClassNone:
+		return "not stabilizing"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Report is the full classification of an algorithm instance under one
+// scheduler policy.
+type Report struct {
+	Algorithm string
+	Policy    string
+	States    int
+
+	// Closure is Definitions 1-3's strong closure property.
+	Closure bool
+	// PossibleConvergence is Definition 3's possible convergence.
+	PossibleConvergence bool
+	// CertainConvergence is Definition 1's certain convergence.
+	CertainConvergence bool
+	// ProbabilisticConvergence is Definition 2's probability-1 convergence
+	// under the randomized scheduler drawing uniformly from the policy's
+	// activation subsets (Definition 6).
+	ProbabilisticConvergence bool
+	// FairLassoFound indicates a strongly fair non-converging execution
+	// was exhibited (refutes self-stabilization under the strongly fair
+	// scheduler, as in Theorem 6).
+	FairLassoFound bool
+
+	// ExpectedSteps summarizes exact expected stabilization times under
+	// the randomized scheduler (valid when ProbabilisticConvergence).
+	ExpectedSteps markov.Summary
+	// ConvergenceRadius is the maximum over configurations of the shortest
+	// convergence path length (+Inf when possible convergence fails).
+	ConvergenceRadius float64
+}
+
+// Analyze classifies the algorithm under the policy. maxStates caps the
+// explored configuration space (0 for the default).
+func Analyze(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Report, error) {
+	sp, err := checker.Explore(a, pol, maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("core: exploring %s: %w", a.Name(), err)
+	}
+	closure := sp.CheckClosure()
+	possible := sp.CheckPossibleConvergence()
+	certain := sp.CheckCertainConvergence()
+	lasso := sp.FindStronglyFairLasso()
+
+	chain, enc, err := markov.FromAlgorithm(a, pol, maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("core: building chain for %s: %w", a.Name(), err)
+	}
+	target := markov.LegitimateTarget(a, enc)
+	probOne := chain.ReachesWithProbOne(target)
+	allOne := true
+	for _, ok := range probOne {
+		allOne = allOne && ok
+	}
+	rep := &Report{
+		Algorithm:                a.Name(),
+		Policy:                   pol.Name(),
+		States:                   sp.States,
+		Closure:                  closure.Holds,
+		PossibleConvergence:      possible.Holds,
+		CertainConvergence:       certain.Holds,
+		ProbabilisticConvergence: allOne,
+		FairLassoFound:           lasso.Found,
+		ConvergenceRadius:        sp.MaxShortestConvergencePath(),
+	}
+	if allOne {
+		h, err := chain.HittingTimes(target)
+		if err != nil {
+			return nil, fmt.Errorf("core: hitting times for %s: %w", a.Name(), err)
+		}
+		rep.ExpectedSteps = markov.Summarize(h, target)
+	}
+	return rep, nil
+}
+
+// SelfStabilizing reports Definition 1.
+func (r *Report) SelfStabilizing() bool { return r.Closure && r.CertainConvergence }
+
+// ProbabilisticallySelfStabilizing reports Definition 2 under the
+// randomized scheduler of Definition 6.
+func (r *Report) ProbabilisticallySelfStabilizing() bool {
+	return r.Closure && r.ProbabilisticConvergence
+}
+
+// WeakStabilizing reports Definition 3.
+func (r *Report) WeakStabilizing() bool { return r.Closure && r.PossibleConvergence }
+
+// GoudaSelfStabilizing reports self-stabilization under Gouda's strong
+// fairness assumption. By Theorem 7 this coincides with probabilistic
+// self-stabilization under the randomized scheduler for finite
+// deterministic algorithms, which is how it is decided.
+func (r *Report) GoudaSelfStabilizing() bool { return r.ProbabilisticallySelfStabilizing() }
+
+// Strongest returns the strongest class the instance belongs to.
+func (r *Report) Strongest() Class {
+	switch {
+	case r.SelfStabilizing():
+		return ClassSelf
+	case r.ProbabilisticallySelfStabilizing():
+		return ClassProbabilistic
+	case r.WeakStabilizing():
+		return ClassWeak
+	default:
+		return ClassNone
+	}
+}
+
+// CheckHierarchy verifies the paper's containments on this instance:
+// certain convergence implies probability-1 convergence implies (for
+// deterministic algorithms; Theorems 5+7) possible convergence. A non-nil
+// error indicates a bug in the library, not a property of the algorithm.
+func (r *Report) CheckHierarchy() error {
+	if r.CertainConvergence && !r.ProbabilisticConvergence {
+		return fmt.Errorf("core: %s/%s: certain convergence without probabilistic convergence",
+			r.Algorithm, r.Policy)
+	}
+	if r.ProbabilisticConvergence && !r.PossibleConvergence {
+		return fmt.Errorf("core: %s/%s: probabilistic convergence without possible convergence",
+			r.Algorithm, r.Policy)
+	}
+	if r.FairLassoFound && r.CertainConvergence {
+		return fmt.Errorf("core: %s/%s: fair diverging lasso found in a certainly-converging system",
+			r.Algorithm, r.Policy)
+	}
+	return nil
+}
+
+// String renders a compact multi-line report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s under %s scheduler (%d configurations)\n", r.Algorithm, r.Policy, r.States)
+	fmt.Fprintf(&sb, "  strong closure:            %v\n", r.Closure)
+	fmt.Fprintf(&sb, "  possible convergence:      %v\n", r.PossibleConvergence)
+	fmt.Fprintf(&sb, "  certain convergence:       %v\n", r.CertainConvergence)
+	fmt.Fprintf(&sb, "  probability-1 convergence: %v (randomized scheduler)\n", r.ProbabilisticConvergence)
+	fmt.Fprintf(&sb, "  strongly fair divergence:  %v\n", r.FairLassoFound)
+	fmt.Fprintf(&sb, "  classification:            %s\n", r.Strongest())
+	if r.ProbabilisticConvergence && r.ExpectedSteps.States > 0 {
+		fmt.Fprintf(&sb, "  expected stabilization:    mean %.2f, max %.2f steps\n",
+			r.ExpectedSteps.Mean, r.ExpectedSteps.Max)
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzFromPrufer checks that every syntactically valid Prüfer sequence
+// decodes to a tree and that invalid entries are rejected, never panicking.
+func FuzzFromPrufer(f *testing.F) {
+	f.Add([]byte{0, 1})
+	f.Add([]byte{3, 3, 3})
+	f.Add([]byte{})
+	f.Add([]byte{7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		n := len(raw) + 2
+		seq := make([]int, len(raw))
+		valid := true
+		for i, b := range raw {
+			seq[i] = int(int8(b)) // may be negative or out of range
+			if seq[i] < 0 || seq[i] >= n {
+				valid = false
+			}
+		}
+		g, err := FromPrufer(seq)
+		if valid {
+			if err != nil {
+				t.Fatalf("valid sequence %v rejected: %v", seq, err)
+			}
+			if !g.IsTree() || g.N() != n {
+				t.Fatalf("decode of %v is not a tree on %d nodes", seq, n)
+			}
+		} else if err == nil {
+			t.Fatalf("invalid sequence %v accepted", seq)
+		}
+	})
+}
+
+// FuzzFromEdges checks the constructor's validation never panics and only
+// accepts simple connected graphs.
+func FuzzFromEdges(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 1, 2})
+	f.Add(uint8(2), []byte{0, 0})
+	f.Fuzz(func(t *testing.T, rawN uint8, rawEdges []byte) {
+		n := int(rawN%10) + 1
+		if len(rawEdges) > 24 {
+			rawEdges = rawEdges[:24]
+		}
+		var edges [][2]int
+		for i := 0; i+1 < len(rawEdges); i += 2 {
+			edges = append(edges, [2]int{int(rawEdges[i]) % (n + 2), int(rawEdges[i+1]) % (n + 2)})
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return
+		}
+		// Accepted graphs must satisfy the documented invariants.
+		if g.N() != n {
+			t.Fatalf("node count mismatch")
+		}
+		dist := g.BFS(0)
+		for _, d := range dist {
+			if d < 0 {
+				t.Fatalf("accepted disconnected graph: %v", g)
+			}
+		}
+		for p := 0; p < n; p++ {
+			for i := 0; i < g.Degree(p); i++ {
+				q := g.Neighbor(p, i)
+				if q == p {
+					t.Fatalf("accepted self-loop")
+				}
+				if j, ok := g.LocalIndex(q, p); !ok || g.Neighbor(q, j) != p {
+					t.Fatalf("asymmetric adjacency")
+				}
+			}
+		}
+	})
+}

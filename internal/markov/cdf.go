@@ -1,0 +1,69 @@
+package markov
+
+import "fmt"
+
+// HittingTimeCDF returns the distribution of the first hitting time T of
+// the target set starting from state `from`: out[t] = P(T <= t) for
+// t = 0..maxSteps. It is computed by propagating the probability mass of
+// the non-target states step by step, so the cost is
+// O(maxSteps × transitions). The CDF may converge to less than 1 when the
+// target is not reached almost surely.
+func (c *Chain) HittingTimeCDF(target []bool, from, maxSteps int) ([]float64, error) {
+	n := len(c.rows)
+	if from < 0 || from >= n {
+		return nil, fmt.Errorf("markov: start state %d out of range [0,%d)", from, n)
+	}
+	if len(target) != n {
+		return nil, fmt.Errorf("markov: target length %d != states %d", len(target), n)
+	}
+	if maxSteps < 0 {
+		return nil, fmt.Errorf("markov: negative step bound %d", maxSteps)
+	}
+	out := make([]float64, maxSteps+1)
+	if target[from] {
+		for t := range out {
+			out[t] = 1
+		}
+		return out, nil
+	}
+	mass := make([]float64, n)
+	next := make([]float64, n)
+	mass[from] = 1
+	absorbed := 0.0
+	for t := 1; t <= maxSteps; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for s, m := range mass {
+			if m == 0 {
+				continue
+			}
+			if c.rows[s] == nil {
+				// Absorbing non-target state: the mass stays forever.
+				next[s] += m
+				continue
+			}
+			for _, tr := range c.rows[s] {
+				if target[tr.To] {
+					absorbed += m * tr.Prob
+				} else {
+					next[tr.To] += m * tr.Prob
+				}
+			}
+		}
+		mass, next = next, mass
+		out[t] = absorbed
+	}
+	return out, nil
+}
+
+// CDFQuantile returns the smallest t with cdf[t] >= q, or -1 if the CDF
+// never reaches q within its horizon.
+func CDFQuantile(cdf []float64, q float64) int {
+	for t, p := range cdf {
+		if p >= q {
+			return t
+		}
+	}
+	return -1
+}

@@ -1,0 +1,382 @@
+// Package markov provides exact analysis of the finite Markov chains
+// induced by running an algorithm under a randomized scheduler
+// (Definition 6 of the paper: the scheduler draws uniformly among the
+// activation subsets its policy allows, and probabilistic actions
+// contribute their outcome distributions).
+//
+// The two quantities the experiments need are
+//
+//   - probability-1 reachability of the legitimate set L (the paper's
+//     probabilistic convergence, Definition 2), decided exactly by graph
+//     analysis (no floating-point tolerance), and
+//   - expected hitting times of L (the "expected stabilization time" the
+//     paper's conclusion calls for), computed by dense Gaussian elimination
+//     for small chains and Gauss–Seidel iteration for large ones.
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// Trans is a weighted transition to a state index.
+type Trans struct {
+	To   int
+	Prob float64
+}
+
+// Chain is a finite discrete-time Markov chain over states 0..N-1. Rows
+// must each sum to 1 (states with no explicit row are treated as absorbing
+// self-loops).
+type Chain struct {
+	rows [][]Trans
+}
+
+// New returns a chain with n states and no transitions (all absorbing).
+func New(n int) *Chain {
+	return &Chain{rows: make([][]Trans, n)}
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return len(c.rows) }
+
+// SetRow installs the outgoing distribution of state s. It returns an
+// error if a target is out of range, a probability is non-positive, or the
+// probabilities do not sum to 1 (within 1e-9). Duplicate targets are
+// merged.
+func (c *Chain) SetRow(s int, ts []Trans) error {
+	if s < 0 || s >= len(c.rows) {
+		return fmt.Errorf("markov: state %d out of range [0,%d)", s, len(c.rows))
+	}
+	sum := 0.0
+	merged := map[int]float64{}
+	for _, t := range ts {
+		if t.To < 0 || t.To >= len(c.rows) {
+			return fmt.Errorf("markov: transition target %d out of range [0,%d)", t.To, len(c.rows))
+		}
+		if t.Prob <= 0 {
+			return fmt.Errorf("markov: non-positive probability %g", t.Prob)
+		}
+		sum += t.Prob
+		merged[t.To] += t.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("markov: row %d sums to %g, want 1", s, sum)
+	}
+	row := make([]Trans, 0, len(merged))
+	for to, p := range merged {
+		row = append(row, Trans{To: to, Prob: p})
+	}
+	c.rows[s] = row
+	return nil
+}
+
+// Row returns the outgoing transitions of s (nil means absorbing).
+func (c *Chain) Row(s int) []Trans { return c.rows[s] }
+
+// successors calls fn for each direct successor of s. Absorbing states
+// (nil rows) report themselves.
+func (c *Chain) successors(s int, fn func(int)) {
+	if c.rows[s] == nil {
+		fn(s)
+		return
+	}
+	for _, t := range c.rows[s] {
+		fn(t.To)
+	}
+}
+
+// CanReach returns, for every state, whether the target set is reachable
+// with positive probability (a reverse reachability computation).
+func (c *Chain) CanReach(target []bool) []bool {
+	n := len(c.rows)
+	rev := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		c.successors(s, func(t int) {
+			if t != s {
+				rev[t] = append(rev[t], int32(s))
+			}
+		})
+	}
+	out := make([]bool, n)
+	var stack []int
+	for s, isT := range target {
+		if isT {
+			out[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pre := range rev[s] {
+			if !out[pre] {
+				out[pre] = true
+				stack = append(stack, int(pre))
+			}
+		}
+	}
+	return out
+}
+
+// ReachesWithProbOne returns, for every state s, whether the chain started
+// at s hits the target set with probability 1. For finite chains this holds
+// iff the target is reachable from every state reachable from s, which is
+// decided exactly without numerics.
+func (c *Chain) ReachesWithProbOne(target []bool) []bool {
+	canReach := c.CanReach(target)
+	n := len(c.rows)
+	// bad: states from which target is unreachable. A state fails prob-1
+	// reachability iff it can reach a bad state without passing through
+	// the target first. Compute backward closure of bad states over edges
+	// whose source is not a target state.
+	bad := make([]bool, n)
+	var stack []int
+	for s := 0; s < n; s++ {
+		if !canReach[s] {
+			bad[s] = true
+			stack = append(stack, s)
+		}
+	}
+	rev := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		if target[s] {
+			continue // paths are cut at the target: hitting it is success
+		}
+		c.successors(s, func(t int) {
+			if t != s {
+				rev[t] = append(rev[t], int32(s))
+			}
+		})
+	}
+	canFail := make([]bool, n)
+	copy(canFail, bad)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pre := range rev[s] {
+			if !canFail[pre] {
+				canFail[pre] = true
+				stack = append(stack, int(pre))
+			}
+		}
+	}
+	out := make([]bool, n)
+	for s := 0; s < n; s++ {
+		out[s] = target[s] || !canFail[s]
+	}
+	return out
+}
+
+// HittingTimes returns the expected number of steps to first reach the
+// target set from every state (0 on the target itself, +Inf where the
+// target is not hit with probability 1). Chains up to denseLimit non-target
+// states are solved exactly by Gaussian elimination; larger chains use
+// Gauss–Seidel iteration to within tol.
+func (c *Chain) HittingTimes(target []bool) ([]float64, error) {
+	const (
+		denseLimit = 1500
+		tol        = 1e-12
+		maxIter    = 2_000_000
+	)
+	n := len(c.rows)
+	if len(target) != n {
+		return nil, fmt.Errorf("markov: target length %d != states %d", len(target), n)
+	}
+	probOne := c.ReachesWithProbOne(target)
+	// Index the transient states that do hit the target w.p. 1.
+	idx := make([]int, n)
+	var transient []int
+	for s := 0; s < n; s++ {
+		idx[s] = -1
+		if !target[s] && probOne[s] {
+			idx[s] = len(transient)
+			transient = append(transient, s)
+		}
+	}
+	h := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if !probOne[s] {
+			h[s] = math.Inf(1)
+		}
+	}
+	m := len(transient)
+	if m == 0 {
+		return h, nil
+	}
+	if m <= denseLimit {
+		sol, err := c.solveDense(target, idx, transient)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range transient {
+			h[s] = sol[i]
+		}
+		return h, nil
+	}
+	// Gauss–Seidel: h(s) = 1 + sum_t P(s,t) h(t), h = 0 on target,
+	// transitions into non-prob-one states cannot occur from transient
+	// prob-one states... they can with probability 0 only; guard anyway.
+	x := make([]float64, m)
+	for iter := 0; iter < maxIter; iter++ {
+		delta := 0.0
+		for i, s := range transient {
+			v := 1.0
+			for _, t := range c.rows[s] {
+				if j := idx[t.To]; j >= 0 {
+					v += t.Prob * x[j]
+				}
+			}
+			if d := math.Abs(v - x[i]); d > delta {
+				delta = d
+			}
+			x[i] = v
+		}
+		if delta < tol {
+			for i, s := range transient {
+				h[s] = x[i]
+			}
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("markov: Gauss–Seidel did not converge within %d iterations", maxIter)
+}
+
+// solveDense solves (I-Q)h = 1 by Gaussian elimination with partial
+// pivoting over the transient states.
+func (c *Chain) solveDense(target []bool, idx []int, transient []int) ([]float64, error) {
+	m := len(transient)
+	// Augmented matrix [I-Q | 1].
+	a := make([][]float64, m)
+	for i, s := range transient {
+		row := make([]float64, m+1)
+		row[i] = 1
+		row[m] = 1
+		for _, t := range c.rows[s] {
+			if j := idx[t.To]; j >= 0 {
+				row[j] -= t.Prob
+			}
+		}
+		a[i] = row
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < m; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("markov: singular hitting-time system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= m; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	sol := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		v := a[i][m]
+		for k := i + 1; k < m; k++ {
+			v -= a[i][k] * sol[k]
+		}
+		sol[i] = v / a[i][i]
+	}
+	return sol, nil
+}
+
+// FromAlgorithm builds the chain of the algorithm under a randomized
+// scheduler drawing uniformly among pol's activation subsets. Terminal
+// configurations become absorbing states. maxStates caps the configuration
+// space (0 means 1<<22).
+func FromAlgorithm(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Chain, *protocol.Encoder, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 22
+	}
+	enc, err := protocol.NewEncoder(a, maxStates)
+	if err != nil {
+		return nil, nil, err
+	}
+	total := int(enc.Total())
+	chain := New(total)
+	cfg := make(protocol.Configuration, a.Graph().N())
+	for s := 0; s < total; s++ {
+		cfg = enc.Decode(int64(s), cfg)
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) == 0 {
+			continue // absorbing
+		}
+		subsets := pol.Subsets(enabled)
+		w := 1 / float64(len(subsets))
+		var row []Trans
+		for _, sub := range subsets {
+			for _, out := range protocol.StepOutcomes(a, cfg, sub) {
+				row = append(row, Trans{To: int(enc.Encode(out.Config)), Prob: w * out.Prob})
+			}
+		}
+		if err := chain.SetRow(s, row); err != nil {
+			return nil, nil, fmt.Errorf("markov: building row for %v: %w", cfg, err)
+		}
+	}
+	return chain, enc, nil
+}
+
+// LegitimateTarget returns the boolean target vector of a's legitimate set
+// under the encoder.
+func LegitimateTarget(a protocol.Algorithm, enc *protocol.Encoder) []bool {
+	total := int(enc.Total())
+	out := make([]bool, total)
+	cfg := make(protocol.Configuration, a.Graph().N())
+	for s := 0; s < total; s++ {
+		cfg = enc.Decode(int64(s), cfg)
+		out[s] = a.Legitimate(cfg)
+	}
+	return out
+}
+
+// Summary aggregates hitting times over the non-target states.
+type Summary struct {
+	States    int     // total states
+	Target    int     // target states
+	Divergent int     // states with infinite hitting time
+	Mean      float64 // mean over finite non-target hitting times
+	Max       float64 // maximum finite hitting time
+}
+
+// Summarize computes aggregate statistics of hitting times h over the
+// complement of target.
+func Summarize(h []float64, target []bool) Summary {
+	s := Summary{States: len(h)}
+	count := 0
+	for i, v := range h {
+		if target[i] {
+			s.Target++
+			continue
+		}
+		if math.IsInf(v, 1) {
+			s.Divergent++
+			continue
+		}
+		count++
+		s.Mean += v
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	if count > 0 {
+		s.Mean /= float64(count)
+	}
+	return s
+}

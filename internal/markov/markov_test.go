@@ -1,0 +1,280 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"weakstab/internal/algorithms/herman"
+	"weakstab/internal/algorithms/syncpair"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+func TestSetRowValidation(t *testing.T) {
+	c := New(3)
+	if err := c.SetRow(0, []Trans{{To: 1, Prob: 0.5}, {To: 2, Prob: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRow(5, []Trans{{To: 0, Prob: 1}}); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+	if err := c.SetRow(0, []Trans{{To: 9, Prob: 1}}); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if err := c.SetRow(0, []Trans{{To: 1, Prob: 0.7}}); err == nil {
+		t.Fatal("sub-stochastic row accepted")
+	}
+	if err := c.SetRow(0, []Trans{{To: 1, Prob: -0.5}, {To: 2, Prob: 1.5}}); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	// Duplicate targets merge.
+	if err := c.SetRow(1, []Trans{{To: 2, Prob: 0.25}, {To: 2, Prob: 0.75}}); err != nil {
+		t.Fatal(err)
+	}
+	if row := c.Row(1); len(row) != 1 || math.Abs(row[0].Prob-1) > 1e-12 {
+		t.Fatalf("duplicates not merged: %v", row)
+	}
+}
+
+func TestGeometricHittingTime(t *testing.T) {
+	// State 0 flips a fair coin to reach absorbing state 1: E = 2.
+	c := New(2)
+	if err := c.SetRow(0, []Trans{{To: 0, Prob: 0.5}, {To: 1, Prob: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.HittingTimes([]bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[0]-2) > 1e-9 || h[1] != 0 {
+		t.Fatalf("h = %v, want [2 0]", h)
+	}
+}
+
+func TestGamblersRuin(t *testing.T) {
+	// Symmetric walk on 0..4 absorbing at both ends: h(i) = i*(4-i).
+	c := New(5)
+	for i := 1; i <= 3; i++ {
+		if err := c.SetRow(i, []Trans{{To: i - 1, Prob: 0.5}, {To: i + 1, Prob: 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := []bool{true, false, false, false, true}
+	h, err := c.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 4; i++ {
+		want := float64(i * (4 - i))
+		if math.Abs(h[i]-want) > 1e-9 {
+			t.Fatalf("h(%d) = %g, want %g", i, h[i], want)
+		}
+	}
+}
+
+func TestReachesWithProbOne(t *testing.T) {
+	// 0 -> 1 (target) w.p. 1/2, 0 -> 2 (absorbing trap) w.p. 1/2.
+	c := New(3)
+	if err := c.SetRow(0, []Trans{{To: 1, Prob: 0.5}, {To: 2, Prob: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	target := []bool{false, true, false}
+	got := c.ReachesWithProbOne(target)
+	if got[0] {
+		t.Fatal("state 0 can fall into the trap; prob-1 must be false")
+	}
+	if !got[1] {
+		t.Fatal("target state must trivially reach itself")
+	}
+	if got[2] {
+		t.Fatal("trap state cannot reach target")
+	}
+	if can := c.CanReach(target); !can[0] || !can[1] || can[2] {
+		t.Fatalf("CanReach = %v, want [true true false]", can)
+	}
+	h, err := c.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(h[0], 1) || !math.IsInf(h[2], 1) {
+		t.Fatalf("divergent states must have infinite hitting time: %v", h)
+	}
+}
+
+func TestHittingTimesThroughTransientLoop(t *testing.T) {
+	// 0 -> 1 -> 0 with escape 1 -> 2 (target): h(1) = 1 + 0.5*h(0),
+	// h(0) = 1 + h(1) => h(1) = 3, h(0) = 4.
+	c := New(3)
+	if err := c.SetRow(0, []Trans{{To: 1, Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRow(1, []Trans{{To: 0, Prob: 0.5}, {To: 2, Prob: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.HittingTimes([]bool{false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[0]-4) > 1e-9 || math.Abs(h[1]-3) > 1e-9 {
+		t.Fatalf("h = %v, want [4 3 0]", h)
+	}
+}
+
+func TestGaussSeidelLargeChain(t *testing.T) {
+	// 1700 states exceed the dense limit; countdown with fair self-loops
+	// has the exact solution h(i) = 2i.
+	const n = 1700
+	c := New(n)
+	for i := 1; i < n; i++ {
+		if err := c.SetRow(i, []Trans{{To: i - 1, Prob: 0.5}, {To: i, Prob: 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := make([]bool, n)
+	target[0] = true
+	h, err := c.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 10, 999, n - 1} {
+		want := 2 * float64(i)
+		if math.Abs(h[i]-want) > 1e-6*want {
+			t.Fatalf("h(%d) = %g, want %g", i, h[i], want)
+		}
+	}
+}
+
+func mustSyncpair(t *testing.T) *syncpair.Algorithm {
+	t.Helper()
+	a, err := syncpair.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFromAlgorithmSyncpairCentralNeverConverges(t *testing.T) {
+	// Under the central randomized scheduler Algorithm 3 cannot reach
+	// (T,T) at all: hitting probability 0, not just < 1.
+	a := mustSyncpair(t)
+	chain, enc, err := FromAlgorithm(a, scheduler.CentralPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := LegitimateTarget(a, enc)
+	ff := int(enc.Encode(protocol.Configuration{syncpair.False, syncpair.False}))
+	if can := chain.CanReach(target); can[ff] {
+		t.Fatal("central scheduler should never reach (T,T) from (F,F)")
+	}
+	one := chain.ReachesWithProbOne(target)
+	if one[ff] {
+		t.Fatal("prob-1 reachability must fail under the central scheduler")
+	}
+}
+
+func TestFromAlgorithmSyncpairDistributedExactTimes(t *testing.T) {
+	// Under the distributed randomized scheduler: h(F,F) = 5, h(T,F) = 6.
+	a := mustSyncpair(t)
+	chain, enc, err := FromAlgorithm(a, scheduler.DistributedPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := LegitimateTarget(a, enc)
+	h, err := chain.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := int(enc.Encode(protocol.Configuration{syncpair.False, syncpair.False}))
+	tf := int(enc.Encode(protocol.Configuration{syncpair.True, syncpair.False}))
+	if math.Abs(h[ff]-5) > 1e-9 {
+		t.Fatalf("h(F,F) = %g, want 5", h[ff])
+	}
+	if math.Abs(h[tf]-6) > 1e-9 {
+		t.Fatalf("h(T,F) = %g, want 6", h[tf])
+	}
+}
+
+func TestFromAlgorithmSyncpairSynchronous(t *testing.T) {
+	// The synchronous scheduler converges deterministically: h(F,F) = 1,
+	// h(T,F) = 2.
+	a := mustSyncpair(t)
+	chain, enc, err := FromAlgorithm(a, scheduler.SynchronousPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := LegitimateTarget(a, enc)
+	h, err := chain.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := int(enc.Encode(protocol.Configuration{syncpair.False, syncpair.False}))
+	tf := int(enc.Encode(protocol.Configuration{syncpair.True, syncpair.False}))
+	if math.Abs(h[ff]-1) > 1e-9 || math.Abs(h[tf]-2) > 1e-9 {
+		t.Fatalf("h(F,F)=%g h(T,F)=%g, want 1, 2", h[ff], h[tf])
+	}
+}
+
+func TestHermanExactExpectedTime(t *testing.T) {
+	// Herman N=3 from the all-equal configuration: every step all three
+	// processes toss, the next configuration is uniform over 8, and the
+	// run stays at 3 tokens with probability 1/4: E = 4/3.
+	a, err := herman.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, enc, err := FromAlgorithm(a, scheduler.SynchronousPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := LegitimateTarget(a, enc)
+	h, err := chain.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := int(enc.Encode(protocol.Configuration{0, 0, 0}))
+	if math.Abs(h[zero]-4.0/3.0) > 1e-9 {
+		t.Fatalf("h(000) = %g, want 4/3", h[zero])
+	}
+	// Single-token configurations are legitimate (hitting time 0).
+	one := int(enc.Encode(protocol.Configuration{0, 0, 1}))
+	if h[one] != 0 {
+		t.Fatalf("h(001) = %g, want 0 (legitimate)", h[one])
+	}
+}
+
+func TestLegitimateTargetAndSummarize(t *testing.T) {
+	a := mustSyncpair(t)
+	chain, enc, err := FromAlgorithm(a, scheduler.DistributedPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := LegitimateTarget(a, enc)
+	count := 0
+	for _, b := range target {
+		if b {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("syncpair has %d legitimate configurations, want 1", count)
+	}
+	h, err := chain.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(h, target)
+	if s.States != 4 || s.Target != 1 || s.Divergent != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Mean of {5, 6, 6} and max 6.
+	if math.Abs(s.Mean-17.0/3.0) > 1e-9 || math.Abs(s.Max-6) > 1e-9 {
+		t.Fatalf("summary = %+v, want mean 17/3 max 6", s)
+	}
+}
+
+func TestHittingTimesBadTargetLength(t *testing.T) {
+	c := New(2)
+	if _, err := c.HittingTimes([]bool{true}); err == nil {
+		t.Fatal("mismatched target length accepted")
+	}
+}

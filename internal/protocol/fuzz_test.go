@@ -1,0 +1,89 @@
+package protocol
+
+import (
+	"testing"
+
+	"weakstab/internal/graph"
+)
+
+// FuzzEncoderRoundTrip checks Encode/Decode are mutually inverse for
+// arbitrary in-domain configurations.
+func FuzzEncoderRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0})
+	f.Add([]byte{4, 4, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		g, err := graph.Ring(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := &maxFlood{g: g, k: 5}
+		enc, err := NewEncoder(alg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := make(Configuration, 5)
+		for i := 0; i < 5; i++ {
+			var v byte
+			if i < len(raw) {
+				v = raw[i]
+			}
+			cfg[i] = int(v) % 5
+		}
+		idx := enc.Encode(cfg)
+		if idx < 0 || idx >= enc.Total() {
+			t.Fatalf("index %d out of range", idx)
+		}
+		back := enc.Decode(idx, nil)
+		if !back.Equal(cfg) {
+			t.Fatalf("round trip %v -> %d -> %v", cfg, idx, back)
+		}
+	})
+}
+
+// FuzzStepSubsets checks Step never panics and touches only activated,
+// enabled processes, for arbitrary subsets (including duplicates and
+// disabled processes).
+func FuzzStepSubsets(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, []byte{0, 0, 1})
+	f.Fuzz(func(t *testing.T, rawCfg, rawSubset []byte) {
+		g, err := graph.Ring(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := &maxFlood{g: g, k: 3}
+		cfg := make(Configuration, 4)
+		for i := 0; i < 4; i++ {
+			var v byte
+			if i < len(rawCfg) {
+				v = rawCfg[i]
+			}
+			cfg[i] = int(v) % 3
+		}
+		if len(rawSubset) > 8 {
+			rawSubset = rawSubset[:8]
+		}
+		subset := make([]int, 0, len(rawSubset))
+		for _, b := range rawSubset {
+			subset = append(subset, int(b)%4)
+		}
+		before := cfg.Clone()
+		next := Step(alg, cfg, subset, nil)
+		if !cfg.Equal(before) {
+			t.Fatal("Step mutated its input")
+		}
+		activated := map[int]bool{}
+		for _, p := range subset {
+			if alg.EnabledAction(cfg, p) != Disabled {
+				activated[p] = true
+			}
+		}
+		for p := range cfg {
+			if activated[p] {
+				continue
+			}
+			if next[p] != cfg[p] {
+				t.Fatalf("non-activated process %d changed state", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package protocol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"weakstab/internal/graph"
+)
+
+// TestStepOutcomesTotalProbabilityQuick verifies that for random
+// configurations and random activation subsets of the probabilistic test
+// algorithm, the joint successor distribution always sums to 1 and every
+// successor differs from the source only at activated enabled processes.
+func TestStepOutcomesTotalProbabilityQuick(t *testing.T) {
+	g, err := graph.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &coinStep{g: g}
+	cfg := func(seed int64) Configuration {
+		rng := rand.New(rand.NewSource(seed))
+		return RandomConfiguration(alg, rng)
+	}
+	f := func(seed int64, mask uint8) bool {
+		c := cfg(seed)
+		var subset []int
+		for p := 0; p < 5; p++ {
+			if mask&(1<<uint(p)) != 0 {
+				subset = append(subset, p)
+			}
+		}
+		outs := StepOutcomes(alg, c, subset)
+		total := 0.0
+		activated := map[int]bool{}
+		for _, p := range subset {
+			if alg.EnabledAction(c, p) != Disabled {
+				activated[p] = true
+			}
+		}
+		for _, o := range outs {
+			total += o.Prob
+			for p := range c {
+				if !activated[p] && o.Config[p] != c[p] {
+					return false
+				}
+			}
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepMatchesStepOutcomesSupport verifies that sampled steps always
+// land inside the enumerated outcome support.
+func TestStepMatchesStepOutcomesSupport(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &coinStep{g: g}
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 200; trial++ {
+		c := RandomConfiguration(alg, rng)
+		subset := []int{rng.Intn(4), rng.Intn(4)}
+		support := map[string]bool{}
+		for _, o := range StepOutcomes(alg, c, subset) {
+			support[o.Config.String()] = true
+		}
+		got := Step(alg, c, subset, rng)
+		if !support[got.String()] {
+			t.Fatalf("sampled %v outside enumerated support of %v / %v", got, c, subset)
+		}
+	}
+}
+
+// TestStepOutcomesEmptySubset confirms the empty activation yields the
+// unchanged configuration with probability 1.
+func TestStepOutcomesEmptySubset(t *testing.T) {
+	g, err := graph.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &maxFlood{g: g, k: 2}
+	c := Configuration{0, 1, 0}
+	outs := StepOutcomes(alg, c, nil)
+	if len(outs) != 1 || outs[0].Prob != 1 || !outs[0].Config.Equal(c) {
+		t.Fatalf("outcomes = %v", outs)
+	}
+}

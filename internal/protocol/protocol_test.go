@@ -1,0 +1,341 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"weakstab/internal/graph"
+)
+
+// maxFlood is a toy deterministic algorithm for tests: a process is enabled
+// iff some neighbor has a larger state; its action copies the neighborhood
+// maximum. Terminal configurations are exactly the constant ones reached by
+// flooding the initial maximum.
+type maxFlood struct {
+	g *graph.Graph
+	k int
+}
+
+func (m *maxFlood) Name() string          { return "maxflood" }
+func (m *maxFlood) Graph() *graph.Graph   { return m.g }
+func (m *maxFlood) StateCount(p int) int  { return m.k }
+func (m *maxFlood) ActionName(int) string { return "copy-max" }
+func (m *maxFlood) Legitimate(c Configuration) bool {
+	for p := 1; p < len(c); p++ {
+		if c[p] != c[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *maxFlood) nbrMax(c Configuration, p int) int {
+	best := -1
+	for i := 0; i < m.g.Degree(p); i++ {
+		if s := c[m.g.Neighbor(p, i)]; s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func (m *maxFlood) EnabledAction(c Configuration, p int) int {
+	if m.nbrMax(c, p) > c[p] {
+		return 0
+	}
+	return Disabled
+}
+
+func (m *maxFlood) Outcomes(c Configuration, p, action int) []Outcome {
+	return Det(m.DeterministicExecute(c, p, action))
+}
+
+func (m *maxFlood) DeterministicExecute(c Configuration, p, _ int) int {
+	return m.nbrMax(c, p)
+}
+
+var _ Deterministic = (*maxFlood)(nil)
+
+// coinStep is a toy probabilistic algorithm: a process in state 0 is
+// enabled and moves to 1 with probability 3/4 or to 2 with probability 1/4.
+type coinStep struct {
+	g *graph.Graph
+}
+
+func (cs *coinStep) Name() string          { return "coinstep" }
+func (cs *coinStep) Graph() *graph.Graph   { return cs.g }
+func (cs *coinStep) StateCount(int) int    { return 3 }
+func (cs *coinStep) ActionName(int) string { return "toss" }
+func (cs *coinStep) Legitimate(c Configuration) bool {
+	for _, s := range c {
+		if s == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (cs *coinStep) EnabledAction(c Configuration, p int) int {
+	if c[p] == 0 {
+		return 0
+	}
+	return Disabled
+}
+
+func (cs *coinStep) Outcomes(Configuration, int, int) []Outcome {
+	return []Outcome{{State: 1, Prob: 0.75}, {State: 2, Prob: 0.25}}
+}
+
+func newTestRing(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigurationCloneEqualString(t *testing.T) {
+	c := Configuration{1, 2, 3}
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone not equal")
+	}
+	d[0] = 9
+	if c.Equal(d) {
+		t.Fatal("mutating clone affected original or Equal is broken")
+	}
+	if c.Equal(Configuration{1, 2}) {
+		t.Fatal("different lengths reported equal")
+	}
+	if got, want := c.String(), "<1 2 3>"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestEnabledAndTerminal(t *testing.T) {
+	alg := &maxFlood{g: newTestRing(t, 4), k: 3}
+	cfg := Configuration{0, 2, 0, 0}
+	enabled := EnabledProcesses(alg, cfg)
+	// Neighbors of 1 are 0 and 2: both see max 2 > own 0 -> enabled.
+	if len(enabled) != 2 || enabled[0] != 0 || enabled[1] != 2 {
+		t.Fatalf("enabled = %v, want [0 2]", enabled)
+	}
+	if IsTerminal(alg, cfg) {
+		t.Fatal("non-terminal configuration reported terminal")
+	}
+	if !IsTerminal(alg, Configuration{2, 2, 2, 2}) {
+		t.Fatal("constant configuration should be terminal")
+	}
+}
+
+func TestStepCompositeAtomicity(t *testing.T) {
+	// All activated processes must read the PRE-step configuration: on the
+	// chain 0-1-2 with states (0,1,2), activating {0,1} must give (1,2,2),
+	// not (2,2,2) which would result from sequential in-step propagation.
+	g, err := graph.Chain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &maxFlood{g: g, k: 3}
+	next := Step(alg, Configuration{0, 1, 2}, []int{0, 1}, nil)
+	want := Configuration{1, 2, 2}
+	if !next.Equal(want) {
+		t.Fatalf("Step = %v, want %v (composite atomicity violated)", next, want)
+	}
+}
+
+func TestStepIgnoresDisabledAndPreservesInput(t *testing.T) {
+	alg := &maxFlood{g: newTestRing(t, 4), k: 3}
+	cfg := Configuration{0, 2, 0, 0}
+	next := Step(alg, cfg, []int{1, 0}, nil) // 1 is disabled (it is the max)
+	if !cfg.Equal(Configuration{0, 2, 0, 0}) {
+		t.Fatal("Step mutated its input configuration")
+	}
+	if !next.Equal(Configuration{2, 2, 0, 0}) {
+		t.Fatalf("next = %v, want <2 2 0 0>", next)
+	}
+}
+
+func TestStepSamplesProbabilistic(t *testing.T) {
+	g, err := graph.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &coinStep{g: g}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		next := Step(alg, Configuration{0, 1}, []int{0}, rng)
+		counts[next[0]]++
+	}
+	frac := float64(counts[1]) / 4000
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("outcome 1 frequency %.3f, want ~0.75", frac)
+	}
+	if counts[0] != 0 {
+		t.Fatal("enabled process failed to move")
+	}
+}
+
+func TestStepOutcomesDeterministic(t *testing.T) {
+	alg := &maxFlood{g: newTestRing(t, 3), k: 2}
+	outs := StepOutcomes(alg, Configuration{0, 1, 0}, []int{0, 2})
+	if len(outs) != 1 {
+		t.Fatalf("deterministic StepOutcomes returned %d entries, want 1", len(outs))
+	}
+	if outs[0].Prob != 1 || !outs[0].Config.Equal(Configuration{1, 1, 1}) {
+		t.Fatalf("outcome = %+v", outs[0])
+	}
+}
+
+func TestStepOutcomesProductDistribution(t *testing.T) {
+	g, err := graph.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &coinStep{g: g}
+	outs := StepOutcomes(alg, Configuration{0, 0}, []int{0, 1})
+	if len(outs) != 4 {
+		t.Fatalf("joint outcomes = %d, want 4", len(outs))
+	}
+	total := 0.0
+	probs := map[string]float64{}
+	for _, o := range outs {
+		total += o.Prob
+		probs[o.Config.String()] = o.Prob
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("joint probabilities sum to %g", total)
+	}
+	if p := probs["<1 1>"]; p < 0.5624 || p > 0.5626 {
+		t.Fatalf("P(<1 1>) = %g, want 0.5625", p)
+	}
+	if p := probs["<2 2>"]; p < 0.0624 || p > 0.0626 {
+		t.Fatalf("P(<2 2>) = %g, want 0.0625", p)
+	}
+}
+
+func TestEncoderRoundTrip(t *testing.T) {
+	alg := &maxFlood{g: newTestRing(t, 4), k: 3}
+	enc, err := NewEncoder(alg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Total() != 81 {
+		t.Fatalf("Total = %d, want 3^4 = 81", enc.Total())
+	}
+	seen := map[int64]bool{}
+	cfg := make(Configuration, 4)
+	for idx := int64(0); idx < enc.Total(); idx++ {
+		cfg = enc.Decode(idx, cfg)
+		back := enc.Encode(cfg)
+		if back != idx {
+			t.Fatalf("round trip failed: %d -> %v -> %d", idx, cfg, back)
+		}
+		if seen[back] {
+			t.Fatalf("duplicate index %d", back)
+		}
+		seen[back] = true
+	}
+}
+
+func TestEncoderRoundTripQuick(t *testing.T) {
+	alg := &maxFlood{g: newTestRing(t, 5), k: 4}
+	enc, err := NewEncoder(alg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint8) bool {
+		cfg := make(Configuration, 5)
+		for i := 0; i < 5; i++ {
+			var v uint8
+			if i < len(raw) {
+				v = raw[i]
+			}
+			cfg[i] = int(v % 4)
+		}
+		return enc.Decode(enc.Encode(cfg), nil).Equal(cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncoderOverflow(t *testing.T) {
+	g, err := graph.Ring(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &maxFlood{g: g, k: 1000} // 1000^50 configurations
+	if _, err := NewEncoder(alg, 0); err == nil {
+		t.Fatal("expected overflow error for huge configuration space")
+	}
+	if _, err := NewEncoder(alg, 1<<20); err == nil {
+		t.Fatal("expected overflow error under explicit cap")
+	}
+}
+
+func TestRandomConfigurationInDomain(t *testing.T) {
+	alg := &maxFlood{g: newTestRing(t, 6), k: 5}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		cfg := RandomConfiguration(alg, rng)
+		if len(cfg) != 6 {
+			t.Fatalf("wrong length %d", len(cfg))
+		}
+		for p, s := range cfg {
+			if s < 0 || s >= 5 {
+				t.Fatalf("state %d out of domain at %d", s, p)
+			}
+		}
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := Validate(&maxFlood{g: newTestRing(t, 4), k: 3}, 0); err != nil {
+		t.Fatalf("maxflood should validate: %v", err)
+	}
+	g, err := graph.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(&coinStep{g: g}, 0); err != nil {
+		t.Fatalf("coinstep should validate: %v", err)
+	}
+}
+
+// badProbs violates the probability-sum invariant.
+type badProbs struct{ coinStep }
+
+func (b *badProbs) Outcomes(Configuration, int, int) []Outcome {
+	return []Outcome{{State: 1, Prob: 0.5}, {State: 2, Prob: 0.2}}
+}
+
+// badDomain returns an out-of-domain state.
+type badDomain struct{ coinStep }
+
+func (b *badDomain) Outcomes(Configuration, int, int) []Outcome {
+	return []Outcome{{State: 7, Prob: 1}}
+}
+
+func TestValidateRejectsIllFormed(t *testing.T) {
+	g, err := graph.Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(&badProbs{coinStep{g: g}}, 0); err == nil {
+		t.Fatal("Validate accepted probabilities summing to 0.7")
+	}
+	if err := Validate(&badDomain{coinStep{g: g}}, 0); err == nil {
+		t.Fatal("Validate accepted out-of-domain outcome state")
+	}
+}
+
+func TestValidateLimit(t *testing.T) {
+	// With limit=1 only configuration <0 0 ... 0> is checked; still fine.
+	if err := Validate(&maxFlood{g: newTestRing(t, 4), k: 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package runtime executes algorithms on real concurrency: one goroutine
+// per process, channel-based activation, and a coordinator that enforces
+// the model's composite atomicity (all activated processes read the frozen
+// pre-step configuration, compute concurrently, and their writes are
+// installed together as one step).
+//
+// The engine is semantically equivalent to the sequential protocol.Step
+// loop — the package tests replay identical schedules on both and compare
+// trajectories — while demonstrating how the paper's shared-register model
+// maps onto goroutines and channels. Probabilistic outcomes are sampled
+// with per-process PRNGs seeded deterministically from the engine seed, so
+// concurrent runs are reproducible.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// request asks a process to evaluate its enabled action against a frozen
+// configuration snapshot.
+type request struct {
+	cfg   protocol.Configuration
+	reply chan<- response
+}
+
+// response carries the process's decision for the step.
+type response struct {
+	proc    int
+	enabled bool
+	next    int
+	action  string
+}
+
+// Engine runs one algorithm instance with one goroutine per process.
+type Engine struct {
+	alg    protocol.Algorithm
+	inbox  []chan request
+	seed   int64
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewEngine spawns the process goroutines. Callers must Close the engine
+// when done. seed derives the per-process PRNGs (process p uses seed+p+1).
+func NewEngine(a protocol.Algorithm, seed int64) *Engine {
+	n := a.Graph().N()
+	e := &Engine{
+		alg:   a,
+		inbox: make([]chan request, n),
+		seed:  seed,
+	}
+	for p := 0; p < n; p++ {
+		ch := make(chan request)
+		e.inbox[p] = ch
+		e.wg.Add(1)
+		go e.process(p, ch)
+	}
+	return e
+}
+
+// process is the per-process goroutine: it waits for activation requests,
+// evaluates its guard against the snapshot, executes its action (sampling
+// probabilistic outcomes with its own PRNG) and replies.
+func (e *Engine) process(p int, inbox <-chan request) {
+	defer e.wg.Done()
+	rng := rand.New(rand.NewSource(e.seed + int64(p) + 1))
+	for req := range inbox {
+		act := e.alg.EnabledAction(req.cfg, p)
+		if act == protocol.Disabled {
+			req.reply <- response{proc: p, enabled: false}
+			continue
+		}
+		outs := e.alg.Outcomes(req.cfg, p, act)
+		next := sampleOutcome(outs, rng)
+		req.reply <- response{proc: p, enabled: true, next: next, action: e.alg.ActionName(act)}
+	}
+}
+
+func sampleOutcome(outs []protocol.Outcome, rng *rand.Rand) int {
+	if len(outs) == 1 {
+		return outs[0].State
+	}
+	x := rng.Float64()
+	acc := 0.0
+	for _, o := range outs {
+		acc += o.Prob
+		if x < acc {
+			return o.State
+		}
+	}
+	return outs[len(outs)-1].State
+}
+
+// StepResult reports one concurrent step.
+type StepResult struct {
+	Chosen  []int
+	Actions map[int]string
+}
+
+// Step performs one atomic step: the activated subset receives the frozen
+// cfg, computes concurrently, and the writes are installed into the
+// returned configuration.
+func (e *Engine) Step(cfg protocol.Configuration, subset []int) (protocol.Configuration, StepResult, error) {
+	if e.closed {
+		return nil, StepResult{}, fmt.Errorf("runtime: engine is closed")
+	}
+	frozen := cfg.Clone()
+	replies := make(chan response, len(subset))
+	for _, p := range subset {
+		if p < 0 || p >= len(e.inbox) {
+			return nil, StepResult{}, fmt.Errorf("runtime: process %d out of range", p)
+		}
+		e.inbox[p] <- request{cfg: frozen, reply: replies}
+	}
+	next := cfg.Clone()
+	res := StepResult{Actions: make(map[int]string, len(subset))}
+	for range subset {
+		r := <-replies
+		if !r.enabled {
+			continue
+		}
+		next[r.proc] = r.next
+		res.Chosen = append(res.Chosen, r.proc)
+		res.Actions[r.proc] = r.action
+	}
+	return next, res, nil
+}
+
+// Run drives the engine under an online scheduler until a legitimate
+// configuration, a terminal configuration, or the step budget. It returns
+// the final configuration and the number of steps taken.
+func (e *Engine) Run(init protocol.Configuration, sched scheduler.Scheduler, schedRNG *rand.Rand, maxSteps int) (protocol.Configuration, int, error) {
+	cfg := init.Clone()
+	for step := 0; step < maxSteps; step++ {
+		if e.alg.Legitimate(cfg) {
+			return cfg, step, nil
+		}
+		enabled := protocol.EnabledProcesses(e.alg, cfg)
+		if len(enabled) == 0 {
+			return cfg, step, nil
+		}
+		chosen := sched.Select(step, cfg, enabled, schedRNG)
+		next, _, err := e.Step(cfg, chosen)
+		if err != nil {
+			return cfg, step, err
+		}
+		cfg = next
+	}
+	return cfg, maxSteps, nil
+}
+
+// Close shuts down all process goroutines and waits for them to exit. The
+// engine must not be used afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, ch := range e.inbox {
+		close(ch)
+	}
+	e.wg.Wait()
+}
+
+// ReferenceStep is the sequential oracle for the engine: identical
+// semantics including the per-process PRNG discipline, executed without
+// goroutines. Tests compare trajectories of Engine.Step and ReferenceStep
+// under identical schedules and seeds.
+type ReferenceStep struct {
+	alg  protocol.Algorithm
+	rngs []*rand.Rand
+}
+
+// NewReferenceStep builds the sequential oracle with the same seeding rule
+// as NewEngine.
+func NewReferenceStep(a protocol.Algorithm, seed int64) *ReferenceStep {
+	n := a.Graph().N()
+	rngs := make([]*rand.Rand, n)
+	for p := 0; p < n; p++ {
+		rngs[p] = rand.New(rand.NewSource(seed + int64(p) + 1))
+	}
+	return &ReferenceStep{alg: a, rngs: rngs}
+}
+
+// Step applies one composite-atomic step sequentially.
+func (r *ReferenceStep) Step(cfg protocol.Configuration, subset []int) protocol.Configuration {
+	next := cfg.Clone()
+	for _, p := range subset {
+		act := r.alg.EnabledAction(cfg, p)
+		if act == protocol.Disabled {
+			continue
+		}
+		next[p] = sampleOutcome(r.alg.Outcomes(cfg, p, act), r.rngs[p])
+	}
+	return next
+}

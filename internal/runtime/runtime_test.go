@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakstab/internal/algorithms/herman"
+	"weakstab/internal/algorithms/leadertree"
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/graph"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/transformer"
+)
+
+func mustTokenRing(t *testing.T, n int) *tokenring.Algorithm {
+	t.Helper()
+	a, err := tokenring.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestEngineMatchesSequentialDeterministic(t *testing.T) {
+	// For a deterministic algorithm, Engine.Step must agree with
+	// protocol.Step on every schedule.
+	a := mustTokenRing(t, 6)
+	e := NewEngine(a, 1)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(2))
+	cfg := protocol.RandomConfiguration(a, rng)
+	seq := cfg.Clone()
+	for step := 0; step < 200; step++ {
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) == 0 {
+			break
+		}
+		chosen := scheduler.NewDistributedRandomized().Select(step, cfg, enabled, rng)
+		var err error
+		var got protocol.Configuration
+		got, _, err = e.Step(cfg, chosen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := protocol.Step(a, seq, chosen, nil)
+		if !got.Equal(want) {
+			t.Fatalf("step %d: concurrent %v != sequential %v", step, got, want)
+		}
+		cfg, seq = got, want
+	}
+}
+
+func TestEngineMatchesReferenceProbabilistic(t *testing.T) {
+	// For probabilistic algorithms the engine must match the sequential
+	// oracle that uses the same per-process PRNG discipline.
+	inner := mustTokenRing(t, 5)
+	a := transformer.New(inner)
+	const seed = 42
+	e := NewEngine(a, seed)
+	defer e.Close()
+	ref := NewReferenceStep(a, seed)
+	rng := rand.New(rand.NewSource(7))
+	cfg := protocol.RandomConfiguration(a, rng)
+	seq := cfg.Clone()
+	for step := 0; step < 300; step++ {
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) == 0 {
+			break
+		}
+		chosen := scheduler.NewCentralRandomized().Select(step, cfg, enabled, rng)
+		got, _, err := e.Step(cfg, chosen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Step(seq, chosen)
+		if !got.Equal(want) {
+			t.Fatalf("step %d: concurrent %v != reference %v", step, got, want)
+		}
+		cfg, seq = got, want
+	}
+}
+
+func TestEngineHermanSynchronous(t *testing.T) {
+	// Full-width synchronous steps: all processes compute concurrently.
+	a, err := herman.New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(a, 3)
+	defer e.Close()
+	ref := NewReferenceStep(a, 3)
+	cfg := protocol.Configuration{0, 0, 0, 0, 0, 0, 0}
+	seq := cfg.Clone()
+	all := []int{0, 1, 2, 3, 4, 5, 6}
+	for step := 0; step < 100; step++ {
+		got, res, err := e.Step(cfg, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Chosen) != 7 {
+			t.Fatalf("step %d: %d processes acted, want 7", step, len(res.Chosen))
+		}
+		want := ref.Step(seq, all)
+		if !got.Equal(want) {
+			t.Fatalf("step %d: %v != %v", step, got, want)
+		}
+		cfg, seq = got, want
+	}
+}
+
+func TestEngineRunConverges(t *testing.T) {
+	g, err := graph.Chain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := leadertree.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(a, 11)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(13))
+	final, steps, err := e.Run(protocol.RandomConfiguration(a, rng), scheduler.NewCentralRandomized(), rng, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Legitimate(final) {
+		t.Fatalf("engine run ended illegitimate after %d steps: %v", steps, final)
+	}
+}
+
+func TestEngineStepValidation(t *testing.T) {
+	a := mustTokenRing(t, 3)
+	e := NewEngine(a, 1)
+	defer e.Close()
+	if _, _, err := e.Step(protocol.Configuration{0, 0, 0}, []int{9}); err == nil {
+		t.Fatal("out-of-range process accepted")
+	}
+}
+
+func TestEngineCloseIsIdempotentAndFinal(t *testing.T) {
+	a := mustTokenRing(t, 3)
+	e := NewEngine(a, 1)
+	e.Close()
+	e.Close() // must not panic
+	if _, _, err := e.Step(protocol.Configuration{0, 1, 0}, []int{0}); err == nil {
+		t.Fatal("Step after Close should error")
+	}
+	if _, _, err := e.Run(protocol.Configuration{0, 0, 0}, scheduler.NewLexMin(), nil, 10); err == nil {
+		t.Fatal("Run after Close should error")
+	}
+}
+
+func TestEngineDisabledProcessesIgnored(t *testing.T) {
+	a := mustTokenRing(t, 4)
+	e := NewEngine(a, 1)
+	defer e.Close()
+	cfg := a.LegitimateWithTokenAt(0)
+	// Activate everyone: only the token holder is enabled.
+	got, res, err := e.Step(cfg, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) != 1 || res.Chosen[0] != 0 {
+		t.Fatalf("acted = %v, want [0]", res.Chosen)
+	}
+	want := protocol.Step(a, cfg, []int{0}, nil)
+	if !got.Equal(want) {
+		t.Fatalf("step result %v, want %v", got, want)
+	}
+}

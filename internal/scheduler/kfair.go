@@ -1,0 +1,109 @@
+package scheduler
+
+// k-fairness, after Beauquier, Gradinariu and Johnen (Distributed
+// Computing 20(1), 2007) — the paper's §3.1 starting point: Algorithm 1 is
+// their (N-1)-fair token circulation. An execution is k-fair if every
+// process executes infinitely often and, between two consecutive actions
+// of any process p, every other process executes at most k actions.
+
+import (
+	"math/rand"
+
+	"weakstab/internal/protocol"
+)
+
+// KFairViolation describes a k-fairness breach: between two consecutive
+// actions of Waiting, Mover executed Count > K actions.
+type KFairViolation struct {
+	Waiting int
+	Mover   int
+	Count   int
+	K       int
+}
+
+// KFairMonitor checks k-fairness over an observed execution prefix. It
+// counts, for every ordered pair (p, q), how many actions q has executed
+// since p's last action; a count exceeding k between two actions of p is
+// a violation. Counting for p starts at p's first action (the definition
+// bounds the window between two actions of p).
+type KFairMonitor struct {
+	k          int
+	n          int
+	moved      []bool  // p has executed at least once
+	since      [][]int // since[p][q]: q's actions since p's last action
+	violations []KFairViolation
+}
+
+// NewKFairMonitor returns a monitor for k-fairness over n processes.
+func NewKFairMonitor(k, n int) *KFairMonitor {
+	since := make([][]int, n)
+	for p := range since {
+		since[p] = make([]int, n)
+	}
+	return &KFairMonitor{k: k, n: n, moved: make([]bool, n), since: since}
+}
+
+// Observe records the activation subset of one step.
+func (m *KFairMonitor) Observe(chosen []int) {
+	for _, q := range chosen {
+		for p := 0; p < m.n; p++ {
+			if p == q || !m.moved[p] {
+				continue
+			}
+			m.since[p][q]++
+			if m.since[p][q] == m.k+1 {
+				// q exceeded the budget within p's current window. Record
+				// once per window (when the threshold is first crossed).
+				m.violations = append(m.violations, KFairViolation{
+					Waiting: p, Mover: q, Count: m.since[p][q], K: m.k,
+				})
+			}
+		}
+	}
+	for _, q := range chosen {
+		m.moved[q] = true
+		for i := range m.since[q] {
+			m.since[q][i] = 0
+		}
+	}
+}
+
+// Violations returns the recorded breaches (nil if k-fair so far).
+func (m *KFairMonitor) Violations() []KFairViolation { return m.violations }
+
+// LongestWaitingFirst is a central scheduler that always activates the
+// enabled process that has accumulated the most foreign moves since its
+// own last move (ties broken by smallest id). On systems whose enabled
+// sets change slowly it empirically enforces (N-1)-fairness; the monitor
+// decides whether it succeeded on a given run.
+type LongestWaitingFirst struct {
+	debt []int
+}
+
+// NewLongestWaitingFirst returns the scheduler for n processes.
+func NewLongestWaitingFirst(n int) *LongestWaitingFirst {
+	return &LongestWaitingFirst{debt: make([]int, n)}
+}
+
+// Name implements Scheduler.
+func (*LongestWaitingFirst) Name() string { return "longest-waiting-first" }
+
+// Select implements Scheduler.
+func (l *LongestWaitingFirst) Select(_ int, _ protocol.Configuration, enabled []int, _ *rand.Rand) []int {
+	best := enabled[0]
+	for _, p := range enabled[1:] {
+		if l.debt[p] > l.debt[best] {
+			best = p
+		}
+	}
+	for p := range l.debt {
+		if p == best {
+			l.debt[p] = 0
+		} else {
+			l.debt[p]++
+		}
+	}
+	return []int{best}
+}
+
+var _ Scheduler = (*LongestWaitingFirst)(nil)

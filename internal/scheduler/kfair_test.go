@@ -1,0 +1,163 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/protocol"
+)
+
+func TestKFairMonitorDetectsViolation(t *testing.T) {
+	// Process 0 acts, then process 1 acts three times before 0 acts again:
+	// 2-fairness is violated on the third move.
+	m := NewKFairMonitor(2, 2)
+	m.Observe([]int{0})
+	m.Observe([]int{1})
+	m.Observe([]int{1})
+	if len(m.Violations()) != 0 {
+		t.Fatalf("violation too early: %v", m.Violations())
+	}
+	m.Observe([]int{1})
+	vs := m.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want one", vs)
+	}
+	if vs[0].Waiting != 0 || vs[0].Mover != 1 || vs[0].Count != 3 || vs[0].K != 2 {
+		t.Fatalf("violation = %+v", vs[0])
+	}
+}
+
+func TestKFairMonitorWindowResets(t *testing.T) {
+	// 1-fairness: alternation is fine forever.
+	m := NewKFairMonitor(1, 2)
+	for i := 0; i < 50; i++ {
+		m.Observe([]int{i % 2})
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("alternation flagged: %v", m.Violations())
+	}
+}
+
+func TestKFairMonitorIgnoresPreFirstAction(t *testing.T) {
+	// Before p's first action there is no window to bound.
+	m := NewKFairMonitor(1, 3)
+	for i := 0; i < 10; i++ {
+		m.Observe([]int{1})
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("pre-first-action moves flagged: %v", m.Violations())
+	}
+	m.Observe([]int{0}) // 0's first action opens the window
+	m.Observe([]int{1})
+	m.Observe([]int{1}) // second foreign move violates k=1
+	if len(m.Violations()) != 1 {
+		t.Fatalf("violations = %v", m.Violations())
+	}
+}
+
+func TestLegitimateCirculationIsExactlyNMinus1Fair(t *testing.T) {
+	// The paper's §3.1: Algorithm 1 comes from the (N-1)-fair algorithm of
+	// Beauquier et al. The legitimate circulation is the tight case:
+	// between two moves of any process, every other process moves exactly
+	// once per lap — (N-1)-fair but not (N-2)-fair.
+	a, err := tokenring.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k int) []KFairViolation {
+		cfg := a.LegitimateWithTokenAt(0)
+		m := NewKFairMonitor(k, 6)
+		for step := 0; step < 60; step++ {
+			holders := a.TokenHolders(cfg)
+			m.Observe(holders)
+			cfg = protocol.Step(a, cfg, holders, nil)
+		}
+		return m.Violations()
+	}
+	// Between two moves of any process, every other process moves exactly
+	// once (one lap): the circulation is exactly 1-fair — well within the
+	// (N-1)-fairness the paper's §3.1 scheduler provides.
+	if vs := run(1); len(vs) != 0 {
+		t.Fatalf("circulation violated 1-fairness: %+v", vs[0])
+	}
+	if vs := run(0); len(vs) == 0 {
+		t.Fatal("circulation is not 0-fair (others move between p's moves)")
+	}
+}
+
+func TestAlternatingTokensAreExactly1Fair(t *testing.T) {
+	// Theorem 6's alternating execution: alternating the two (sorted)
+	// token holders makes every process move exactly once between two
+	// moves of any other process — the diverging execution is as k-fair
+	// (1-fair) as the legitimate circulation itself. No k-fairness
+	// assumption can separate them, which is why the paper needs Gouda
+	// fairness (all transitions, not all processes) to force convergence.
+	a, err := tokenring.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k int) []KFairViolation {
+		cfg := protocol.Configuration{0, 1, 2, 0, 1, 2} // tokens at 0 and 3
+		m := NewKFairMonitor(k, 6)
+		turn := 0
+		for step := 0; step < 80; step++ {
+			holders := a.TokenHolders(cfg)
+			if len(holders) != 2 {
+				t.Fatalf("step %d: tokens merged", step)
+			}
+			chosen := []int{holders[turn%2]}
+			m.Observe(chosen)
+			cfg = protocol.Step(a, cfg, chosen, nil)
+			turn++
+		}
+		return m.Violations()
+	}
+	if vs := run(1); len(vs) != 0 {
+		t.Fatalf("alternation violated 1-fairness: %+v", vs[0])
+	}
+	if vs := run(0); len(vs) == 0 {
+		t.Fatal("alternation is not 0-fair (other processes move between p's moves)")
+	}
+}
+
+func TestLongestWaitingFirstIsNMinus1FairOnTokenRing(t *testing.T) {
+	// The paper's §3.1 context: Algorithm 1 under an (N-1)-fair scheduler.
+	// Longest-waiting-first keeps every execution (N-1)-fair on the ring,
+	// from random initial configurations.
+	a, err := tokenring.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		cfg := protocol.RandomConfiguration(a, rng)
+		sched := NewLongestWaitingFirst(6)
+		m := NewKFairMonitor(5, 6)
+		for step := 0; step < 300; step++ {
+			enabled := protocol.EnabledProcesses(a, cfg)
+			if len(enabled) == 0 {
+				break
+			}
+			chosen := sched.Select(step, cfg, enabled, rng)
+			m.Observe(chosen)
+			cfg = protocol.Step(a, cfg, chosen, rng)
+		}
+		if vs := m.Violations(); len(vs) != 0 {
+			t.Fatalf("trial %d: longest-waiting-first violated (N-1)-fairness: %+v", trial, vs[0])
+		}
+	}
+}
+
+func TestLongestWaitingFirstSelectsSingleton(t *testing.T) {
+	s := NewLongestWaitingFirst(4)
+	got := s.Select(0, make(protocol.Configuration, 4), []int{1, 3}, nil)
+	if len(got) != 1 {
+		t.Fatalf("selected %v", got)
+	}
+	// After 1 moves, 3 has higher debt: next pick among {1,3} must be 3.
+	got2 := s.Select(1, make(protocol.Configuration, 4), []int{1, 3}, nil)
+	if got2[0] == got[0] {
+		t.Fatalf("scheduler repeated %v despite debt", got2)
+	}
+}

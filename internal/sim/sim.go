@@ -1,0 +1,207 @@
+// Package sim is the Monte-Carlo engine: it runs algorithms under online
+// schedulers from arbitrary initial configurations, measures convergence
+// times, and injects transient faults to exercise re-stabilization — the
+// empirical counterpart of the exact Markov analysis for instances too
+// large to enumerate.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/stats"
+)
+
+// Result reports one run.
+type Result struct {
+	// Converged is true if a legitimate configuration was reached within
+	// the step budget (the initial configuration counts).
+	Converged bool
+	// Steps is the number of scheduler steps taken until convergence (or
+	// the full budget when Converged is false).
+	Steps int
+	// Moves is the total number of process activations.
+	Moves int
+	// Rounds counts asynchronous rounds: a round ends once every process
+	// enabled at its start has executed or become disabled — the
+	// self-stabilization literature's time unit that normalizes scheduler
+	// granularity (a synchronous step is exactly one round).
+	Rounds int
+	// Final is the last configuration.
+	Final protocol.Configuration
+}
+
+// roundTracker implements the standard round measure.
+type roundTracker struct {
+	pending map[int]bool
+	rounds  int
+}
+
+func newRoundTracker(enabled []int) *roundTracker {
+	t := &roundTracker{pending: make(map[int]bool, len(enabled))}
+	t.reset(enabled)
+	return t
+}
+
+func (t *roundTracker) reset(enabled []int) {
+	clear(t.pending)
+	for _, p := range enabled {
+		t.pending[p] = true
+	}
+}
+
+// observe accounts one step: chosen processes executed; the enabled set is
+// the post-step enabled set. Processes that executed or are no longer
+// enabled leave the pending set; when it empties, a round completes.
+func (t *roundTracker) observe(chosen, enabledAfter []int) {
+	for _, p := range chosen {
+		delete(t.pending, p)
+	}
+	still := make(map[int]bool, len(enabledAfter))
+	for _, p := range enabledAfter {
+		still[p] = true
+	}
+	for p := range t.pending {
+		if !still[p] {
+			delete(t.pending, p)
+		}
+	}
+	if len(t.pending) == 0 {
+		t.rounds++
+		t.reset(enabledAfter)
+	}
+}
+
+// Options tunes a run. The zero value is ready to use.
+type Options struct {
+	// MaxSteps bounds the run; 0 means 1_000_000.
+	MaxSteps int
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 1_000_000
+	}
+	return o.MaxSteps
+}
+
+// Run executes the algorithm under the scheduler from init until a
+// legitimate configuration is reached or the budget is exhausted.
+func Run(a protocol.Algorithm, sched scheduler.Scheduler, init protocol.Configuration, rng *rand.Rand, opts Options) Result {
+	cfg := init.Clone()
+	moves := 0
+	budget := opts.maxSteps()
+	var rounds *roundTracker
+	for step := 0; step < budget; step++ {
+		if a.Legitimate(cfg) {
+			return Result{Converged: true, Steps: step, Moves: moves, Rounds: roundCount(rounds), Final: cfg}
+		}
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) == 0 {
+			// Terminal but illegitimate: cannot converge.
+			return Result{Converged: false, Steps: step, Moves: moves, Rounds: roundCount(rounds), Final: cfg}
+		}
+		if rounds == nil {
+			rounds = newRoundTracker(enabled)
+		}
+		chosen := sched.Select(step, cfg, enabled, rng)
+		moves += len(chosen)
+		cfg = protocol.Step(a, cfg, chosen, rng)
+		rounds.observe(chosen, protocol.EnabledProcesses(a, cfg))
+	}
+	return Result{Converged: a.Legitimate(cfg), Steps: budget, Moves: moves, Rounds: roundCount(rounds), Final: cfg}
+}
+
+func roundCount(t *roundTracker) int {
+	if t == nil {
+		return 0
+	}
+	return t.rounds
+}
+
+// Trials summarizes repeated runs from uniformly random initial
+// configurations. It returns the step statistics over converged runs and
+// the number of failures (budget exhaustion).
+func Trials(a protocol.Algorithm, sched scheduler.Scheduler, trials int, rng *rand.Rand, opts Options) (stats.Summary, int) {
+	steps := make([]float64, 0, trials)
+	failures := 0
+	for i := 0; i < trials; i++ {
+		res := Run(a, sched, protocol.RandomConfiguration(a, rng), rng, opts)
+		if !res.Converged {
+			failures++
+			continue
+		}
+		steps = append(steps, float64(res.Steps))
+	}
+	return stats.Summarize(steps), failures
+}
+
+// TrialsFrom summarizes repeated runs from a fixed initial configuration
+// (meaningful for probabilistic algorithms and randomized schedulers).
+func TrialsFrom(a protocol.Algorithm, sched scheduler.Scheduler, init protocol.Configuration, trials int, rng *rand.Rand, opts Options) (stats.Summary, int) {
+	steps := make([]float64, 0, trials)
+	failures := 0
+	for i := 0; i < trials; i++ {
+		res := Run(a, sched, init, rng, opts)
+		if !res.Converged {
+			failures++
+			continue
+		}
+		steps = append(steps, float64(res.Steps))
+	}
+	return stats.Summarize(steps), failures
+}
+
+// InjectFaults returns a copy of cfg with k distinct processes' states
+// replaced by uniformly random values from their domains (the paper's
+// transient-fault model: process memories corrupted arbitrarily). k is
+// clamped to the number of processes.
+func InjectFaults(a protocol.Algorithm, cfg protocol.Configuration, k int, rng *rand.Rand) protocol.Configuration {
+	n := len(cfg)
+	if k > n {
+		k = n
+	}
+	out := cfg.Clone()
+	perm := rng.Perm(n)
+	for _, p := range perm[:k] {
+		out[p] = rng.Intn(a.StateCount(p))
+	}
+	return out
+}
+
+// FaultRecovery runs a long execution that suffers a burst of k corrupted
+// processes every faultPeriod steps and records the re-stabilization time
+// after each burst. It returns the summary of recovery times and an error
+// if some burst never recovered within opts.MaxSteps.
+func FaultRecovery(a protocol.Algorithm, sched scheduler.Scheduler, bursts, k, faultPeriod int, rng *rand.Rand, opts Options) (stats.Summary, error) {
+	if bursts < 1 {
+		return stats.Summary{}, fmt.Errorf("sim: need at least one burst")
+	}
+	// Start from a converged state.
+	warm := Run(a, sched, protocol.RandomConfiguration(a, rng), rng, opts)
+	if !warm.Converged {
+		return stats.Summary{}, fmt.Errorf("sim: initial convergence failed for %s", a.Name())
+	}
+	cfg := warm.Final
+	recoveries := make([]float64, 0, bursts)
+	for b := 0; b < bursts; b++ {
+		// Let the system run legitimately for faultPeriod steps.
+		for step := 0; step < faultPeriod; step++ {
+			enabled := protocol.EnabledProcesses(a, cfg)
+			if len(enabled) == 0 {
+				break
+			}
+			cfg = protocol.Step(a, cfg, sched.Select(step, cfg, enabled, rng), rng)
+		}
+		cfg = InjectFaults(a, cfg, k, rng)
+		res := Run(a, sched, cfg, rng, opts)
+		if !res.Converged {
+			return stats.Summary{}, fmt.Errorf("sim: burst %d did not re-stabilize within %d steps", b, opts.maxSteps())
+		}
+		recoveries = append(recoveries, float64(res.Steps))
+		cfg = res.Final
+	}
+	return stats.Summarize(recoveries), nil
+}

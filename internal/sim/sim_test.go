@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"weakstab/internal/algorithms/syncpair"
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/markov"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+func mustTokenRing(t *testing.T, n int) *tokenring.Algorithm {
+	t.Helper()
+	a, err := tokenring.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRunConvergesTokenRing(t *testing.T) {
+	a := mustTokenRing(t, 6)
+	rng := rand.New(rand.NewSource(1))
+	res := Run(a, scheduler.NewCentralRandomized(), protocol.Configuration{0, 0, 0, 0, 0, 0}, rng, Options{})
+	if !res.Converged {
+		t.Fatal("token ring did not converge under the central randomized scheduler")
+	}
+	if !a.Legitimate(res.Final) {
+		t.Fatal("final configuration not legitimate")
+	}
+	if res.Moves < res.Steps {
+		t.Fatalf("moves %d < steps %d under a central scheduler", res.Moves, res.Steps)
+	}
+}
+
+func TestRunStartsLegitimate(t *testing.T) {
+	a := mustTokenRing(t, 5)
+	res := Run(a, scheduler.NewCentralRandomized(), a.LegitimateWithTokenAt(0), rand.New(rand.NewSource(2)), Options{})
+	if !res.Converged || res.Steps != 0 || res.Moves != 0 {
+		t.Fatalf("result = %+v, want immediate convergence", res)
+	}
+}
+
+func TestRunTerminalIllegitimate(t *testing.T) {
+	// Ablation modulus: token-free deadlock is reported as non-convergence.
+	a, err := tokenring.NewWithModulus(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := a.LegitimateWithTokenAt(0) // token-free under m|N
+	res := Run(a, scheduler.NewCentralRandomized(), cfg, rand.New(rand.NewSource(3)), Options{MaxSteps: 100})
+	if res.Converged {
+		t.Fatal("deadlocked run reported as converged")
+	}
+	if res.Steps != 0 {
+		t.Fatalf("steps = %d, want 0 (immediately terminal)", res.Steps)
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	// Algorithm 3 under a central scheduler livelocks forever.
+	a, err := syncpair.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(a, scheduler.NewCentralRandomized(), protocol.Configuration{0, 0}, rand.New(rand.NewSource(4)), Options{MaxSteps: 500})
+	if res.Converged {
+		t.Fatal("syncpair cannot converge under a central scheduler")
+	}
+	if res.Steps != 500 {
+		t.Fatalf("steps = %d, want full budget 500", res.Steps)
+	}
+}
+
+func TestTrialsMatchExactExpectation(t *testing.T) {
+	// Monte-Carlo mean from a fixed configuration must match the Markov
+	// hitting time: syncpair under the distributed randomized scheduler
+	// from (F,F) has exact expectation 5.
+	a, err := syncpair.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	summary, failures := TrialsFrom(a, scheduler.NewDistributedRandomized(),
+		protocol.Configuration{0, 0}, 4000, rng, Options{MaxSteps: 100000})
+	if failures != 0 {
+		t.Fatalf("%d failures", failures)
+	}
+	if math.Abs(summary.Mean-5) > 0.25 {
+		t.Fatalf("Monte-Carlo mean %g, want ~5 (exact)", summary.Mean)
+	}
+}
+
+func TestTrialsRandomInitial(t *testing.T) {
+	a := mustTokenRing(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	summary, failures := Trials(a, scheduler.NewDistributedRandomized(), 300, rng, Options{MaxSteps: 100000})
+	if failures != 0 {
+		t.Fatalf("%d failures", failures)
+	}
+	if summary.Count != 300 {
+		t.Fatalf("count = %d", summary.Count)
+	}
+	// Cross-check against the exact mean hitting time over all
+	// configurations (uniform initial distribution).
+	chain, enc, err := markov.FromAlgorithm(a, scheduler.DistributedPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := markov.LegitimateTarget(a, enc)
+	h, err := chain.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactMean := 0.0
+	for _, v := range h {
+		exactMean += v
+	}
+	exactMean /= float64(len(h))
+	if math.Abs(summary.Mean-exactMean) > 0.35*exactMean+0.5 {
+		t.Fatalf("Monte-Carlo mean %g far from exact uniform mean %g", summary.Mean, exactMean)
+	}
+}
+
+func TestInjectFaults(t *testing.T) {
+	a := mustTokenRing(t, 6)
+	rng := rand.New(rand.NewSource(7))
+	cfg := a.LegitimateWithTokenAt(0)
+	// k = 0: no change.
+	same := InjectFaults(a, cfg, 0, rng)
+	if !same.Equal(cfg) {
+		t.Fatal("zero faults changed the configuration")
+	}
+	// Faulted states stay in domain; input unchanged.
+	faulted := InjectFaults(a, cfg, 3, rng)
+	if !cfg.Equal(a.LegitimateWithTokenAt(0)) {
+		t.Fatal("InjectFaults mutated its input")
+	}
+	for p, s := range faulted {
+		if s < 0 || s >= a.StateCount(p) {
+			t.Fatalf("faulted state %d out of domain at %d", s, p)
+		}
+	}
+	// k > n clamps.
+	InjectFaults(a, cfg, 100, rng)
+}
+
+func TestFaultRecovery(t *testing.T) {
+	a := mustTokenRing(t, 6)
+	rng := rand.New(rand.NewSource(8))
+	summary, err := FaultRecovery(a, scheduler.NewDistributedRandomized(), 20, 2, 10, rng, Options{MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Count != 20 {
+		t.Fatalf("recoveries = %d, want 20", summary.Count)
+	}
+	if summary.Min < 0 {
+		t.Fatal("negative recovery time")
+	}
+}
+
+func TestFaultRecoveryValidation(t *testing.T) {
+	a := mustTokenRing(t, 5)
+	if _, err := FaultRecovery(a, scheduler.NewCentralRandomized(), 0, 1, 5, rand.New(rand.NewSource(9)), Options{}); err == nil {
+		t.Fatal("zero bursts accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Package spec expresses the paper's specifications SP as predicates over
+// recorded executions and checks them on traces. The model section defines
+// a specification as "a particular predicate defined over the executions of
+// S" — legitimacy of individual configurations is only a proxy; this
+// package closes the gap by checking the behavioral contracts themselves:
+// token circulation (Definition 4), leader election (Definition 5), mutual
+// exclusion safety, and the convergence+closure shape of stabilizing runs.
+package spec
+
+import (
+	"fmt"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/trace"
+)
+
+// Spec is a predicate over executions.
+type Spec interface {
+	// Name identifies the specification.
+	Name() string
+	// Check returns nil iff the recorded execution satisfies the
+	// specification, else an error describing the first violation.
+	Check(tr *trace.Trace) error
+}
+
+// HolderFunc extracts the token/privilege holders of a configuration.
+type HolderFunc func(cfg protocol.Configuration) []int
+
+// TokenCirculation is Definition 4 on finite traces: every configuration
+// has exactly one token, and no process waits more than MaxStarvation
+// consecutive configurations without holding it (the finite-trace proxy
+// for "every process holds the token infinitely often").
+type TokenCirculation struct {
+	Holders HolderFunc
+	// MaxStarvation bounds the wait; for Algorithm 1's legitimate
+	// executions the token advances one position per step, so N is exact.
+	MaxStarvation int
+}
+
+// Name implements Spec.
+func (s TokenCirculation) Name() string { return "token-circulation" }
+
+// Check implements Spec.
+func (s TokenCirculation) Check(tr *trace.Trace) error {
+	configs := tr.Configurations()
+	n := tr.Algorithm.Graph().N()
+	waiting := make([]int, n)
+	for i, cfg := range configs {
+		holders := s.Holders(cfg)
+		if len(holders) != 1 {
+			return fmt.Errorf("spec: configuration %d has %d tokens, want 1", i, len(holders))
+		}
+		for p := 0; p < n; p++ {
+			if p == holders[0] {
+				waiting[p] = 0
+				continue
+			}
+			waiting[p]++
+			if s.MaxStarvation > 0 && waiting[p] > s.MaxStarvation {
+				return fmt.Errorf("spec: process %d starved for %d configurations", p, waiting[p])
+			}
+		}
+	}
+	return nil
+}
+
+// MutualExclusion is the safety half alone: never two privileges at once.
+type MutualExclusion struct {
+	Holders HolderFunc
+}
+
+// Name implements Spec.
+func (s MutualExclusion) Name() string { return "mutual-exclusion" }
+
+// Check implements Spec.
+func (s MutualExclusion) Check(tr *trace.Trace) error {
+	for i, cfg := range tr.Configurations() {
+		if k := len(s.Holders(cfg)); k > 1 {
+			return fmt.Errorf("spec: configuration %d has %d privileges", i, k)
+		}
+	}
+	return nil
+}
+
+// LeaderFunc extracts the self-declared leaders of a configuration.
+type LeaderFunc func(cfg protocol.Configuration) []int
+
+// StableLeader is Definition 5 on traces: a unique leader exists in every
+// configuration and never changes.
+type StableLeader struct {
+	Leaders LeaderFunc
+}
+
+// Name implements Spec.
+func (s StableLeader) Name() string { return "stable-leader" }
+
+// Check implements Spec.
+func (s StableLeader) Check(tr *trace.Trace) error {
+	elected := -1
+	for i, cfg := range tr.Configurations() {
+		ls := s.Leaders(cfg)
+		if len(ls) != 1 {
+			return fmt.Errorf("spec: configuration %d has %d leaders, want 1", i, len(ls))
+		}
+		if elected == -1 {
+			elected = ls[0]
+			continue
+		}
+		if ls[0] != elected {
+			return fmt.Errorf("spec: leader changed from %d to %d at configuration %d", elected, ls[0], i)
+		}
+	}
+	return nil
+}
+
+// ConvergenceShape is the stabilization contract on a finite run: once a
+// legitimate configuration appears, every later configuration is
+// legitimate (closure); and if RequireConvergence is set, a legitimate
+// configuration must appear at all.
+type ConvergenceShape struct {
+	Legitimate         func(cfg protocol.Configuration) bool
+	RequireConvergence bool
+}
+
+// Name implements Spec.
+func (s ConvergenceShape) Name() string { return "convergence-shape" }
+
+// Check implements Spec.
+func (s ConvergenceShape) Check(tr *trace.Trace) error {
+	converged := false
+	for i, cfg := range tr.Configurations() {
+		legit := s.Legitimate(cfg)
+		if converged && !legit {
+			return fmt.Errorf("spec: closure violated at configuration %d", i)
+		}
+		if legit {
+			converged = true
+		}
+	}
+	if s.RequireConvergence && !converged {
+		return fmt.Errorf("spec: no legitimate configuration in %d steps", len(tr.Steps))
+	}
+	return nil
+}
+
+// All combines specifications; the combined check fails on the first
+// violation.
+type All []Spec
+
+// Name implements Spec.
+func (a All) Name() string { return "all" }
+
+// Check implements Spec.
+func (a All) Check(tr *trace.Trace) error {
+	for _, s := range a {
+		if err := s.Check(tr); err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+	}
+	return nil
+}

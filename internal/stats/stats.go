@@ -1,0 +1,142 @@
+// Package stats provides the summary statistics used by the Monte-Carlo
+// experiments: location and dispersion estimates, quantiles, normal-theory
+// confidence intervals and fixed-width text histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a zero
+// Summary.
+func Summarize(sample []float64) Summary {
+	n := len(sample)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(n)
+	varAcc := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		varAcc += d * d
+	}
+	std := 0.0
+	if n > 1 {
+		std = math.Sqrt(varAcc / float64(n-1))
+	}
+	return Summary{
+		Count:  n,
+		Mean:   mean,
+		Std:    std,
+		Min:    sorted[0],
+		Max:    sorted[n-1],
+		Median: Quantile(sorted, 0.5),
+		P95:    Quantile(sorted, 0.95),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean (1.96 * std / sqrt(n)); 0 for samples smaller than 2.
+func (s Summary) CI95() float64 {
+	if s.Count < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.Count))
+}
+
+// String renders "mean=… ±ci std=… min=… med=… p95=… max=… (n=…)".
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.2f ±%.2f std=%.2f min=%.0f med=%.1f p95=%.1f max=%.0f (n=%d)",
+		s.Mean, s.CI95(), s.Std, s.Min, s.Median, s.P95, s.Max, s.Count)
+}
+
+// Histogram renders a fixed-width text histogram of the sample with the
+// given number of buckets (at least 1). Returns "" for empty samples.
+func Histogram(sample []float64, buckets int, width int) string {
+	if len(sample) == 0 || buckets < 1 {
+		return ""
+	}
+	if width < 1 {
+		width = 40
+	}
+	lo, hi := sample[0], sample[0]
+	for _, v := range sample {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	counts := make([]int, buckets)
+	span := hi - lo
+	for _, v := range sample {
+		b := 0
+		if span > 0 {
+			b = int(float64(buckets) * (v - lo) / span)
+			if b >= buckets {
+				b = buckets - 1
+			}
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for b, c := range counts {
+		bLo := lo + span*float64(b)/float64(buckets)
+		bHi := lo + span*float64(b+1)/float64(buckets)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&sb, "[%8.1f,%8.1f) %6d %s\n", bLo, bHi, c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

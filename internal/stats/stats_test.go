@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %g, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Mean != 7 || s.Std != 0 || s.CI95() != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	tests := []struct{ q, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5}, {-1, 0}, {2, 40},
+	}
+	for _, tc := range tests {
+		if got := Quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestCI95ShrinksWithSampleSize(t *testing.T) {
+	small := Summarize(make([]float64, 10))
+	big := Summarize(make([]float64, 1000))
+	// Zero variance: both zero; use alternating data instead.
+	alt := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i % 2)
+		}
+		return out
+	}
+	small, big = Summarize(alt(10)), Summarize(alt(1000))
+	if small.CI95() <= big.CI95() {
+		t.Fatalf("CI95: n=10 %g should exceed n=1000 %g", small.CI95(), big.CI95())
+	}
+}
+
+func TestSummaryInvariantsQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			// Bound magnitudes so the mean cannot overflow: the invariants
+			// are about ordering, not extreme-value arithmetic.
+			raw[i] = math.Mod(raw[i], 1e9)
+		}
+		s := Summarize(raw)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Median <= s.P95 && s.P95 <= s.Max &&
+			s.Std >= 0 && s.Count == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0, 1, 2, 9}, 3, 20)
+	if h == "" {
+		t.Fatal("empty histogram")
+	}
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("histogram has %d lines, want 3", len(lines))
+	}
+	if Histogram(nil, 3, 20) != "" {
+		t.Fatal("histogram of empty sample should be empty")
+	}
+	if Histogram([]float64{1}, 0, 20) != "" {
+		t.Fatal("zero buckets should yield empty histogram")
+	}
+	// Constant sample lands in one bucket.
+	h = Histogram([]float64{5, 5, 5}, 4, 10)
+	if !strings.Contains(h, "3") {
+		t.Fatalf("constant histogram missing count: %q", h)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := s.String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2.00") {
+		t.Fatalf("String = %q", out)
+	}
+}

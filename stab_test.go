@@ -1,0 +1,132 @@
+package weakstab_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakstab"
+)
+
+func TestFacadeTopologies(t *testing.T) {
+	if _, err := weakstab.NewRing(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := weakstab.NewChain(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := weakstab.NewStar(5); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	g, err := weakstab.NewRandomTree(8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsTree() {
+		t.Fatal("random tree is not a tree")
+	}
+	count := 0
+	if err := weakstab.AllLabeledTrees(4, func(*weakstab.Graph) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 16 {
+		t.Fatalf("enumerated %d trees, want 16", count)
+	}
+}
+
+func TestFacadeAlgorithmsAndClassify(t *testing.T) {
+	alg, err := weakstab.NewTokenRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := weakstab.Classify(alg, weakstab.CentralPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strongest() != weakstab.ClassProbabilistic {
+		t.Fatalf("token ring class = %v", rep.Strongest())
+	}
+	dk, err := weakstab.NewDijkstra(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = weakstab.Classify(dk, weakstab.CentralPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strongest() != weakstab.ClassSelf {
+		t.Fatalf("dijkstra class = %v", rep.Strongest())
+	}
+}
+
+func TestFacadeTransformAndSimulate(t *testing.T) {
+	g, err := weakstab.NewChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := weakstab.NewLeaderElection(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := weakstab.Transform(inner)
+	rng := rand.New(rand.NewSource(3))
+	res := weakstab.Simulate(alg, weakstab.SynchronousScheduler(),
+		weakstab.RandomConfiguration(alg, rng), rng, 0)
+	if !res.Converged {
+		t.Fatal("transformed election did not converge synchronously")
+	}
+	if _, err := weakstab.TransformBiased(inner, 1.5); err == nil {
+		t.Fatal("invalid bias accepted")
+	}
+	summary, failures := weakstab.SimulateTrials(alg, weakstab.DistributedScheduler(), 50, rng, 0)
+	if failures != 0 || summary.Count != 50 {
+		t.Fatalf("trials: %d failures, %d converged", failures, summary.Count)
+	}
+}
+
+func TestFacadeStepAndFaults(t *testing.T) {
+	alg, err := weakstab.NewTokenRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := alg.LegitimateWithTokenAt(2)
+	if weakstab.IsTerminal(alg, cfg) {
+		t.Fatal("legitimate token ring configuration cannot be terminal")
+	}
+	enabled := weakstab.EnabledProcesses(alg, cfg)
+	if len(enabled) != 1 || enabled[0] != 2 {
+		t.Fatalf("enabled = %v", enabled)
+	}
+	next := weakstab.Step(alg, cfg, enabled, nil)
+	if holders := alg.TokenHolders(next); holders[0] != 3 {
+		t.Fatalf("token at %v, want [3]", holders)
+	}
+	rng := rand.New(rand.NewSource(4))
+	faulted := weakstab.InjectFaults(alg, cfg, 3, rng)
+	if len(faulted) != 6 {
+		t.Fatal("fault injection changed configuration length")
+	}
+	herman, err := weakstab.NewHerman(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if herman.Graph().N() != 5 {
+		t.Fatal("herman graph wrong")
+	}
+	if _, err := weakstab.NewCenterElection(herman.Graph()); err == nil {
+		t.Fatal("center election on a ring accepted")
+	}
+	chain, err := weakstab.NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := weakstab.NewCenterFinder(chain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := weakstab.NewSyncPair(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := weakstab.NewGraph(3, [][2]int{{0, 1}, {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+}
