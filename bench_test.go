@@ -10,11 +10,18 @@ import (
 	"testing"
 
 	"weakstab"
+	"weakstab/internal/algorithms/centers"
+	"weakstab/internal/algorithms/leadertree"
+	"weakstab/internal/algorithms/tokenring"
 	"weakstab/internal/checker"
+	"weakstab/internal/core"
 	"weakstab/internal/experiments"
+	"weakstab/internal/graph"
 	"weakstab/internal/markov"
+	"weakstab/internal/protocol"
 	"weakstab/internal/runtime"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -185,6 +192,118 @@ func BenchmarkTransformedSimulation(b *testing.B) {
 			weakstab.RandomConfiguration(alg, rng), rng, 5_000_000)
 		if !res.Converged {
 			b.Fatal("simulation failed to converge")
+		}
+	}
+}
+
+// --- Exploration-engine throughput -----------------------------------------
+//
+// The statespace engine benchmarks compare the seed-era enumeration
+// (BuildReference: per-subset successor materialization, map dedup,
+// explored separately by checker and markov) against the shared parallel
+// CSR engine at 1 worker and at GOMAXPROCS workers, on the larger spaces
+// (leadertree on the Figure 2 tree, the centers elector, token rings).
+
+func benchSpaceWith(b *testing.B, build func() (protocol.Algorithm, error), explore func(protocol.Algorithm) (*statespace.Space, error)) {
+	b.Helper()
+	alg, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := explore(alg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = sp.States
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(states)*float64(b.N)/sec, "states/sec")
+	}
+}
+
+func benchSpace(b *testing.B, build func() (protocol.Algorithm, error), pol scheduler.Policy, workers int) {
+	benchSpaceWith(b, build, func(alg protocol.Algorithm) (*statespace.Space, error) {
+		return statespace.Build(alg, pol, statespace.Options{Workers: workers})
+	})
+}
+
+func benchSpaceReference(b *testing.B, build func() (protocol.Algorithm, error), pol scheduler.Policy) {
+	benchSpaceWith(b, build, func(alg protocol.Algorithm) (*statespace.Space, error) {
+		return statespace.BuildReference(alg, pol, 0)
+	})
+}
+
+func leadertreeFigure2() (protocol.Algorithm, error) {
+	return leadertree.New(graph.Figure2Tree())
+}
+
+func centersElectorChain5() (protocol.Algorithm, error) {
+	g, err := graph.Chain(5)
+	if err != nil {
+		return nil, err
+	}
+	return centers.NewElector(g)
+}
+
+func tokenring6() (protocol.Algorithm, error) { return tokenring.New(6) }
+
+func BenchmarkExploreLeadertreeReference(b *testing.B) {
+	benchSpaceReference(b, leadertreeFigure2, scheduler.DistributedPolicy{})
+}
+
+func BenchmarkExploreLeadertree1Worker(b *testing.B) {
+	benchSpace(b, leadertreeFigure2, scheduler.DistributedPolicy{}, 1)
+}
+
+func BenchmarkExploreLeadertreeAllWorkers(b *testing.B) {
+	benchSpace(b, leadertreeFigure2, scheduler.DistributedPolicy{}, 0)
+}
+
+func BenchmarkExploreCentersReference(b *testing.B) {
+	benchSpaceReference(b, centersElectorChain5, scheduler.CentralPolicy{})
+}
+
+func BenchmarkExploreCenters1Worker(b *testing.B) {
+	benchSpace(b, centersElectorChain5, scheduler.CentralPolicy{}, 1)
+}
+
+func BenchmarkExploreCentersAllWorkers(b *testing.B) {
+	benchSpace(b, centersElectorChain5, scheduler.CentralPolicy{}, 0)
+}
+
+func BenchmarkExploreTokenringReference(b *testing.B) {
+	benchSpaceReference(b, tokenring6, scheduler.DistributedPolicy{})
+}
+
+func BenchmarkExploreTokenring1Worker(b *testing.B) {
+	benchSpace(b, tokenring6, scheduler.DistributedPolicy{}, 1)
+}
+
+func BenchmarkExploreTokenringAllWorkers(b *testing.B) {
+	benchSpace(b, tokenring6, scheduler.DistributedPolicy{}, 0)
+}
+
+// BenchmarkAnalyzeSharedSpace measures the full core pipeline over the
+// shared engine (one exploration for both checker and Markov views).
+func BenchmarkAnalyzeSharedSpace(b *testing.B) {
+	alg, err := weakstab.NewTokenRing(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.AnalyzeWith(alg, scheduler.CentralPolicy{}, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.WeakStabilizing() {
+			b.Fatal("classification changed")
 		}
 	}
 }

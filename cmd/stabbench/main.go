@@ -17,11 +17,12 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "", "experiment id to run (default: all)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		quick  = flag.Bool("quick", false, "reduced sizes and trial counts")
-		seed   = flag.Int64("seed", 1, "random seed")
-		trials = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
+		run     = flag.String("run", "", "experiment id to run (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
+		seed    = flag.Int64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
+		workers = flag.Int("workers", 0, "state-space exploration workers (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -33,7 +34,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials, Workers: *workers}
 	if *run == "" {
 		if err := experiments.RunAll(os.Stdout, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "FAIL:", err)

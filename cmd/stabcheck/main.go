@@ -4,6 +4,9 @@
 // convergence, strongly fair diverging lassos, and the resulting class
 // (self / probabilistic / weak / none).
 //
+// The configuration space is explored exactly once — in parallel, on
+// -workers workers — and shared by every analysis the flags request.
+//
 // Examples:
 //
 //	stabcheck -alg tokenring -n 6 -policy central
@@ -21,8 +24,7 @@ import (
 	"weakstab/internal/checker"
 	"weakstab/internal/cli"
 	"weakstab/internal/core"
-	"weakstab/internal/protocol"
-	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 		kfaults   = flag.Int("kfaults", -1, "also analyze convergence within k corrupted processes (k-stabilization lens)")
 		lasso     = flag.Bool("lasso", false, "print the strongly fair diverging lasso and its Gouda-fairness verdict")
 		maxStates = flag.Int64("max-states", 0, "state space cap (0 = default)")
+		workers   = flag.Int("workers", 0, "exploration worker-pool size (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -52,7 +55,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := core.Analyze(a, pol, *maxStates)
+	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: *maxStates, Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.AnalyzeSpace(ts)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,62 +70,50 @@ func main() {
 	if rep.FairLassoFound {
 		fmt.Println("  note: a strongly fair diverging execution exists — not self-stabilizing even under the strongly fair scheduler")
 	}
+	sp := checker.FromSpace(ts)
 	if *witness {
-		if err := printWitness(a, pol, *maxStates); err != nil {
-			fatal(err)
+		printWitness(sp)
+	}
+	if *kfaults >= 0 {
+		dist := sp.DistanceToLegitimate()
+		for k := 0; k <= *kfaults; k++ {
+			v := sp.CheckKFaults(k, dist)
+			fmt.Printf("  k=%d faults: %d configurations, possible=%v certain=%v\n",
+				k, v.Configs, v.Possible, v.Certain)
 		}
 	}
-	if *kfaults >= 0 || *lasso {
-		sp, err := checker.Explore(a, pol, *maxStates)
-		if err != nil {
-			fatal(err)
-		}
-		if *kfaults >= 0 {
-			dist := sp.DistanceToLegitimate()
-			for k := 0; k <= *kfaults; k++ {
-				v := sp.CheckKFaults(k, dist)
-				fmt.Printf("  k=%d faults: %d configurations, possible=%v certain=%v\n",
-					k, v.Configs, v.Possible, v.Certain)
-			}
-		}
-		if *lasso {
-			l := sp.FindStronglyFairLasso()
-			if !l.Found {
-				fmt.Println("  no strongly fair diverging lasso found")
-			} else {
-				fmt.Printf("  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
-					len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
-			}
+	if *lasso {
+		l := sp.FindStronglyFairLasso()
+		if !l.Found {
+			fmt.Println("  no strongly fair diverging lasso found")
+		} else {
+			fmt.Printf("  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
+				len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
 		}
 	}
 }
 
 // printWitness prints the shortest convergence path from the configuration
 // farthest from L (or reports the first configuration with none).
-func printWitness(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) error {
-	sp, err := checker.Explore(a, pol, maxStates)
-	if err != nil {
-		return err
-	}
+func printWitness(sp *checker.Space) {
 	worst, worstLen := -1, 0
 	for s := 0; s < sp.States; s++ {
 		path := sp.WitnessPath(sp.Config(s))
 		if path == nil {
 			fmt.Printf("  no convergence path from %v\n", sp.Config(s))
-			return nil
+			return
 		}
 		if len(path) > worstLen {
 			worst, worstLen = s, len(path)
 		}
 	}
 	if worst < 0 {
-		return nil
+		return
 	}
 	fmt.Printf("  worst-case witness (%d steps):\n", worstLen-1)
 	for _, cfg := range sp.WitnessPath(sp.Config(worst)) {
 		fmt.Printf("    %v\n", cfg)
 	}
-	return nil
 }
 
 func fatal(err error) {

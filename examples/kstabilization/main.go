@@ -13,6 +13,7 @@ import (
 	"weakstab/internal/checker"
 	"weakstab/internal/markov"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
 
 func main() {
@@ -22,17 +23,20 @@ func main() {
 	}
 	pol := scheduler.CentralPolicy{}
 
-	sp, err := checker.Explore(alg, pol, 0)
+	// One parallel exploration feeds both the checker (fault distances,
+	// per-ball verdicts) and the exact Markov recovery times.
+	ts, err := statespace.Build(alg, pol, statespace.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sp := checker.FromSpace(ts)
 	dist := sp.DistanceToLegitimate()
 
-	chain, enc, err := markov.FromAlgorithm(alg, pol, 0)
+	chain, err := markov.FromSpace(ts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	target := markov.LegitimateTarget(alg, enc)
+	target := markov.TargetFromSpace(ts)
 	h, err := chain.HittingTimes(target)
 	if err != nil {
 		log.Fatal(err)

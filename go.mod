@@ -1,0 +1,3 @@
+module weakstab
+
+go 1.24

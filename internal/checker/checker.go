@@ -23,70 +23,37 @@ import (
 
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
 
-// Space is the explored transition system of an algorithm under a policy.
+// Space is the checker's view of an explored transition system. It embeds
+// the shared statespace engine's result, consuming only the unweighted
+// successor rows; the same underlying space can simultaneously feed the
+// Markov analysis through its weighted view (markov.FromSpace), so the
+// configuration space is enumerated exactly once per analysis.
 type Space struct {
-	Alg    protocol.Algorithm
-	Pol    scheduler.Policy
-	Enc    *protocol.Encoder
-	Legit  []bool    // Legit[s]: configuration s is legitimate
-	Succs  [][]int32 // deduplicated successor state indices
-	States int
+	*statespace.Space
 }
 
 // Explore enumerates every configuration and its successors under every
-// activation subset the policy allows (and every probabilistic outcome).
-// maxStates caps the space (0 means 1<<21).
+// activation subset the policy allows (and every probabilistic outcome),
+// in parallel over index ranges. maxStates caps the space (0 means
+// statespace.DefaultMaxStates).
 func Explore(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Space, error) {
-	if maxStates <= 0 {
-		maxStates = 1 << 21
-	}
-	enc, err := protocol.NewEncoder(a, maxStates)
+	return ExploreWith(a, pol, maxStates, 0)
+}
+
+// ExploreWith is Explore with an explicit worker-pool size (0 = NumCPU).
+func ExploreWith(a protocol.Algorithm, pol scheduler.Policy, maxStates int64, workers int) (*Space, error) {
+	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: maxStates, Workers: workers})
 	if err != nil {
 		return nil, fmt.Errorf("checker: %w", err)
 	}
-	total := int(enc.Total())
-	sp := &Space{
-		Alg:    a,
-		Pol:    pol,
-		Enc:    enc,
-		Legit:  make([]bool, total),
-		Succs:  make([][]int32, total),
-		States: total,
-	}
-	cfg := make(protocol.Configuration, a.Graph().N())
-	seen := map[int32]bool{}
-	for s := 0; s < total; s++ {
-		cfg = enc.Decode(int64(s), cfg)
-		sp.Legit[s] = a.Legitimate(cfg)
-		enabled := protocol.EnabledProcesses(a, cfg)
-		if len(enabled) == 0 {
-			continue
-		}
-		clear(seen)
-		var succs []int32
-		for _, sub := range pol.Subsets(enabled) {
-			for _, out := range protocol.StepOutcomes(a, cfg, sub) {
-				t := int32(enc.Encode(out.Config))
-				if !seen[t] {
-					seen[t] = true
-					succs = append(succs, t)
-				}
-			}
-		}
-		sp.Succs[s] = succs
-	}
-	return sp, nil
+	return &Space{ts}, nil
 }
 
-// Config decodes state index s.
-func (sp *Space) Config(s int) protocol.Configuration {
-	return sp.Enc.Decode(int64(s), nil)
-}
-
-// IsTerminal reports whether state s has no successors.
-func (sp *Space) IsTerminal(s int) bool { return len(sp.Succs[s]) == 0 }
+// FromSpace wraps an already-built transition system in the checker view.
+func FromSpace(ts *statespace.Space) *Space { return &Space{ts} }
 
 // ClosureResult reports on the strong closure property.
 type ClosureResult struct {
@@ -102,7 +69,7 @@ func (sp *Space) CheckClosure() ClosureResult {
 		if !sp.Legit[s] {
 			continue
 		}
-		for _, t := range sp.Succs[s] {
+		for _, t := range sp.Succ(int(s)) {
 			if !sp.Legit[t] {
 				return ClosureResult{From: sp.Config(s), To: sp.Config(int(t))}
 			}
@@ -141,7 +108,7 @@ func (sp *Space) CheckPossibleConvergence() ConvergenceResult {
 func (sp *Space) reverseReach() []bool {
 	rev := make([][]int32, sp.States)
 	for s := 0; s < sp.States; s++ {
-		for _, t := range sp.Succs[s] {
+		for _, t := range sp.Succ(int(s)) {
 			if int(t) != s {
 				rev[t] = append(rev[t], int32(s))
 			}
@@ -216,7 +183,7 @@ func (sp *Space) findIllegitimateCycle() []int {
 		color[root] = gray
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			succs := sp.Succs[f.state]
+			succs := sp.Succ(int(f.state))
 			advanced := false
 			for f.next < len(succs) {
 				t := succs[f.next]
@@ -275,7 +242,12 @@ func (v Verdict) SelfStabilizing() bool { return v.Closure.Holds && v.Certain.Ho
 // Classify explores the algorithm under the policy and evaluates all
 // properties.
 func Classify(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (Verdict, error) {
-	sp, err := Explore(a, pol, maxStates)
+	return ClassifyWith(a, pol, maxStates, 0)
+}
+
+// ClassifyWith is Classify with an explicit worker-pool size (0 = NumCPU).
+func ClassifyWith(a protocol.Algorithm, pol scheduler.Policy, maxStates int64, workers int) (Verdict, error) {
+	sp, err := ExploreWith(a, pol, maxStates, workers)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -306,7 +278,7 @@ func (sp *Space) WitnessPath(from protocol.Configuration) []protocol.Configurati
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
-		for _, t := range sp.Succs[s] {
+		for _, t := range sp.Succ(int(s)) {
 			if parent[t] != -2 {
 				continue
 			}
@@ -338,7 +310,7 @@ func (sp *Space) MaxShortestConvergencePath() float64 {
 	}
 	rev := make([][]int32, sp.States)
 	for s := 0; s < sp.States; s++ {
-		for _, t := range sp.Succs[s] {
+		for _, t := range sp.Succ(int(s)) {
 			if int(t) != s {
 				rev[t] = append(rev[t], int32(s))
 			}

@@ -260,7 +260,7 @@ func TestWitnessPath(t *testing.T) {
 		s := sp.Enc.Encode(path[i])
 		tIdx := sp.Enc.Encode(path[i+1])
 		found := false
-		for _, succ := range sp.Succs[s] {
+		for _, succ := range sp.Succ(int(s)) {
 			if int64(succ) == tIdx {
 				found = true
 				break

@@ -96,7 +96,7 @@ func (sp *Space) sccs() []int32 {
 		onStack[root] = true
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			succs := sp.Succs[f.v]
+			succs := sp.Succ(int(f.v))
 			recursed := false
 			for f.next < len(succs) {
 				w := succs[f.next]
@@ -155,7 +155,7 @@ func (sp *Space) componentHasCycle(states []int32, comp []int32) bool {
 		return true
 	}
 	s := states[0]
-	for _, t := range sp.Succs[s] {
+	for _, t := range sp.Succ(int(s)) {
 		if t == s {
 			return true
 		}
@@ -175,7 +175,7 @@ func (sp *Space) tryComponentWalk(det protocol.Deterministic, states []int32, co
 	type edge struct{ from, to int32 }
 	var edges []edge
 	for _, s := range states {
-		for _, t := range sp.Succs[s] {
+		for _, t := range sp.Succ(int(s)) {
 			if comp[t] == cid && inComp[t] {
 				edges = append(edges, edge{from: s, to: t})
 			}
@@ -232,7 +232,7 @@ func (sp *Space) pathWithin(src, dst int32, inComp map[int32]bool) []int32 {
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
-		for _, t := range sp.Succs[s] {
+		for _, t := range sp.Succ(int(s)) {
 			if !inComp[t] {
 				continue
 			}

@@ -36,7 +36,7 @@ func (sp *Space) GoudaFairLasso(cycle []protocol.Configuration) bool {
 		taken[s][t] = true
 	}
 	for s, outs := range taken {
-		for _, succ := range sp.Succs[s] {
+		for _, succ := range sp.Succ(int(s)) {
 			if !outs[int64(succ)] {
 				return false
 			}
@@ -76,7 +76,7 @@ func (sp *Space) NoGoudaFairDivergence() (protocol.Configuration, bool) {
 				// diverging lasso exists trivially inside this component.
 				return sp.Config(int(s)), false
 			}
-			for _, t := range sp.Succs[s] {
+			for _, t := range sp.Succ(int(s)) {
 				if sp.Legit[t] || comp[t] != cid {
 					escapes = true
 					break

@@ -130,7 +130,7 @@ func (sp *Space) divergingStates() []bool {
 		if sp.Legit[s] {
 			continue
 		}
-		for _, t := range sp.Succs[s] {
+		for _, t := range sp.Succ(int(s)) {
 			if int(t) != s {
 				rev[t] = append(rev[t], int32(s))
 			}

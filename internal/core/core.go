@@ -23,6 +23,7 @@ import (
 	"weakstab/internal/markov"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
 
 // Class is a stabilization class.
@@ -83,23 +84,46 @@ type Report struct {
 	ConvergenceRadius float64
 }
 
+// Options tunes Analyze.
+type Options struct {
+	// MaxStates caps the explored configuration space (0 for the default).
+	MaxStates int64
+	// Workers sets the exploration worker-pool size (0 for NumCPU).
+	Workers int
+}
+
 // Analyze classifies the algorithm under the policy. maxStates caps the
 // explored configuration space (0 for the default).
 func Analyze(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Report, error) {
-	sp, err := checker.Explore(a, pol, maxStates)
+	return AnalyzeWith(a, pol, Options{MaxStates: maxStates})
+}
+
+// AnalyzeWith classifies the algorithm under the policy, building the
+// transition system exactly once: the checker consumes its unweighted view
+// and the Markov analysis its weighted view of the same space.
+func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Report, error) {
+	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: opt.MaxStates, Workers: opt.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s: %w", a.Name(), err)
 	}
+	return AnalyzeSpace(ts)
+}
+
+// AnalyzeSpace runs the full classification over an already-explored
+// transition system (no further enumeration happens).
+func AnalyzeSpace(ts *statespace.Space) (*Report, error) {
+	a := ts.Alg
+	sp := checker.FromSpace(ts)
 	closure := sp.CheckClosure()
 	possible := sp.CheckPossibleConvergence()
 	certain := sp.CheckCertainConvergence()
 	lasso := sp.FindStronglyFairLasso()
 
-	chain, enc, err := markov.FromAlgorithm(a, pol, maxStates)
+	chain, err := markov.FromSpace(ts)
 	if err != nil {
 		return nil, fmt.Errorf("core: building chain for %s: %w", a.Name(), err)
 	}
-	target := markov.LegitimateTarget(a, enc)
+	target := markov.TargetFromSpace(ts)
 	probOne := chain.ReachesWithProbOne(target)
 	allOne := true
 	for _, ok := range probOne {
@@ -107,7 +131,7 @@ func Analyze(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Repo
 	}
 	rep := &Report{
 		Algorithm:                a.Name(),
-		Policy:                   pol.Name(),
+		Policy:                   ts.Pol.Name(),
 		States:                   sp.States,
 		Closure:                  closure.Holds,
 		PossibleConvergence:      possible.Holds,

@@ -55,7 +55,7 @@ func runE16(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		rf, err := core.Analyze(finder, scheduler.CentralPolicy{}, 0)
+		rf, err := core.AnalyzeWith(finder, scheduler.CentralPolicy{}, core.Options{Workers: opt.Workers})
 		if err != nil {
 			return err
 		}
@@ -66,7 +66,7 @@ func runE16(w io.Writer, opt Options) error {
 		for _, pol := range []scheduler.Policy{
 			scheduler.CentralPolicy{}, scheduler.DistributedPolicy{}, scheduler.SynchronousPolicy{},
 		} {
-			re, err := core.Analyze(elector, pol, 0)
+			re, err := core.AnalyzeWith(elector, pol, core.Options{Workers: opt.Workers})
 			if err != nil {
 				return err
 			}

@@ -22,6 +22,9 @@ type Options struct {
 	Seed int64
 	// Trials overrides Monte-Carlo trial counts (0 keeps defaults).
 	Trials int
+	// Workers sets the state-space exploration worker-pool size
+	// (0 means runtime.NumCPU()).
+	Workers int
 }
 
 func (o Options) seed() int64 {

@@ -23,6 +23,7 @@ import (
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/sim"
+	"weakstab/internal/statespace"
 	"weakstab/internal/stats"
 	"weakstab/internal/transformer"
 )
@@ -63,16 +64,19 @@ func runE13(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	sp, err := checker.Explore(a, scheduler.CentralPolicy{}, 0)
+	// One shared exploration feeds both the fault-distance checker and the
+	// exact Markov recovery times.
+	ts, err := statespace.Build(a, scheduler.CentralPolicy{}, statespace.Options{Workers: opt.Workers})
 	if err != nil {
 		return err
 	}
+	sp := checker.FromSpace(ts)
 	dist := sp.DistanceToLegitimate()
-	chain, enc, err := markov.FromAlgorithm(a, scheduler.CentralPolicy{}, 0)
+	chain, err := markov.FromSpace(ts)
 	if err != nil {
 		return err
 	}
-	target := markov.LegitimateTarget(a, enc)
+	target := markov.TargetFromSpace(ts)
 	h, err := chain.HittingTimes(target)
 	if err != nil {
 		return err
@@ -195,7 +199,7 @@ func runE15(w io.Writer, opt Options) error {
 		{trans, scheduler.SynchronousPolicy{}, core.ClassProbabilistic},
 	}
 	for _, r := range rows {
-		rep, err := core.Analyze(r.alg, r.pol, 0)
+		rep, err := core.AnalyzeWith(r.alg, r.pol, core.Options{Workers: opt.Workers})
 		if err != nil {
 			return err
 		}

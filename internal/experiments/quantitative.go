@@ -18,6 +18,7 @@ import (
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/sim"
+	"weakstab/internal/statespace"
 	"weakstab/internal/transformer"
 )
 
@@ -119,7 +120,7 @@ func runE12a(w io.Writer, opt Options) error {
 		row := make([]string, 0, len(cells))
 		var rawDist float64
 		for i, cell := range cells {
-			mean, err := meanHittingTime(cell.alg, cell.pol)
+			mean, err := meanHittingTime(cell.alg, cell.pol, opt.Workers)
 			if err != nil {
 				return err
 			}
@@ -154,12 +155,16 @@ func runE12a(w io.Writer, opt Options) error {
 
 // meanHittingTime returns the mean expected hitting time of L over all
 // non-legitimate configurations under the policy's randomized scheduler.
-func meanHittingTime(a protocol.Algorithm, pol scheduler.Policy) (float64, error) {
-	chain, enc, err := markov.FromAlgorithm(a, pol, 0)
+func meanHittingTime(a protocol.Algorithm, pol scheduler.Policy, workers int) (float64, error) {
+	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: markov.DefaultMaxStates, Workers: workers})
 	if err != nil {
 		return 0, err
 	}
-	target := markov.LegitimateTarget(a, enc)
+	chain, err := markov.FromSpace(ts)
+	if err != nil {
+		return 0, err
+	}
+	target := markov.TargetFromSpace(ts)
 	h, err := chain.HittingTimes(target)
 	if err != nil {
 		return 0, err
@@ -245,7 +250,7 @@ func runE12c(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		tokenMean, err := meanHittingTime(tr, scheduler.DistributedPolicy{})
+		tokenMean, err := meanHittingTime(tr, scheduler.DistributedPolicy{}, opt.Workers)
 		if err != nil {
 			return err
 		}
@@ -253,7 +258,7 @@ func runE12c(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		spMean, err := meanHittingTime(spTr, scheduler.SynchronousPolicy{})
+		spMean, err := meanHittingTime(spTr, scheduler.SynchronousPolicy{}, opt.Workers)
 		if err != nil {
 			return err
 		}
@@ -284,7 +289,7 @@ func runE12d(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		transMean, err := meanHittingTime(transformer.New(a), scheduler.DistributedPolicy{})
+		transMean, err := meanHittingTime(transformer.New(a), scheduler.DistributedPolicy{}, opt.Workers)
 		if err != nil {
 			return err
 		}
@@ -293,7 +298,7 @@ func runE12d(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		hermanMean, err := meanHittingTime(h, scheduler.SynchronousPolicy{})
+		hermanMean, err := meanHittingTime(h, scheduler.SynchronousPolicy{}, opt.Workers)
 		if err != nil {
 			return err
 		}

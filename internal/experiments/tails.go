@@ -10,6 +10,7 @@ import (
 	"weakstab/internal/markov"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 	"weakstab/internal/transformer"
 )
 
@@ -53,12 +54,16 @@ func runE17(w io.Writer, opt Options) error {
 			protocol.Configuration{0, 0, 0, 0, 0}, 400},
 	}
 	for _, c := range cases {
-		chain, enc, err := markov.FromAlgorithm(c.alg, c.pol, 0)
+		ts, err := statespace.Build(c.alg, c.pol, statespace.Options{MaxStates: markov.DefaultMaxStates, Workers: opt.Workers})
 		if err != nil {
 			return err
 		}
-		target := markov.LegitimateTarget(c.alg, enc)
-		from := int(enc.Encode(c.start))
+		chain, err := markov.FromSpace(ts)
+		if err != nil {
+			return err
+		}
+		target := markov.TargetFromSpace(ts)
+		from := int(ts.Enc.Encode(c.start))
 		cdf, err := chain.HittingTimeCDF(target, from, c.horizon)
 		if err != nil {
 			return err

@@ -14,6 +14,7 @@ import (
 	"weakstab/internal/markov"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
 
 func init() {
@@ -113,7 +114,7 @@ func runE4(w io.Writer, opt Options) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "instance\tweak(sync)\tself(sync)\tagree")
 	for _, a := range algs {
-		v, err := checker.Classify(a, scheduler.SynchronousPolicy{}, 0)
+		v, err := checker.ClassifyWith(a, scheduler.SynchronousPolicy{}, 0, opt.Workers)
 		if err != nil {
 			return err
 		}
@@ -146,7 +147,7 @@ func runE5(w io.Writer, opt Options) error {
 		// distributed strongly fair scheduler. (For n=3 the only diverging
 		// executions flip all processes simultaneously, so the central
 		// space alone contains no illegitimate cycle.)
-		sp, err := checker.Explore(a, scheduler.DistributedPolicy{}, 0)
+		sp, err := checker.ExploreWith(a, scheduler.DistributedPolicy{}, 0, opt.Workers)
 		if err != nil {
 			return err
 		}
@@ -308,7 +309,7 @@ func runE7(w io.Writer, opt Options) error {
 				weakAll = false
 				return false
 			}
-			v, err := checker.Classify(a, scheduler.CentralPolicy{}, 0)
+			v, err := checker.ClassifyWith(a, scheduler.CentralPolicy{}, 0, opt.Workers)
 			if err != nil || !v.WeakStabilizing() {
 				weakAll = false
 				return false
@@ -348,7 +349,7 @@ func runE8(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	sp, err := checker.Explore(a, scheduler.CentralPolicy{}, 0)
+	sp, err := checker.ExploreWith(a, scheduler.CentralPolicy{}, 0, opt.Workers)
 	if err != nil {
 		return err
 	}
@@ -367,7 +368,7 @@ func runE8(w io.Writer, opt Options) error {
 	// The same instance under the randomized central scheduler: prob-1
 	// convergence everywhere with finite expected times (Gouda fairness
 	// route via Theorem 7).
-	rep, err := core.Analyze(a, scheduler.CentralPolicy{}, 0)
+	rep, err := core.AnalyzeWith(a, scheduler.CentralPolicy{}, core.Options{Workers: opt.Workers})
 	if err != nil {
 		return err
 	}
@@ -389,7 +390,7 @@ func runE9(w io.Writer, opt Options) error {
 	fmt.Fprintln(tw, "instance\tpolicy\tweak\tprob-1\tE[steps] mean\tmax")
 	for _, a := range algs {
 		for _, pol := range []scheduler.Policy{scheduler.CentralPolicy{}, scheduler.DistributedPolicy{}} {
-			rep, err := core.Analyze(a, pol, 0)
+			rep, err := core.AnalyzeWith(a, pol, core.Options{Workers: opt.Workers})
 			if err != nil {
 				return err
 			}
@@ -433,16 +434,16 @@ func runE10(w io.Writer, opt Options) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "instance\traw sync prob-1\ttrans sync prob-1\ttrans dist prob-1")
 	for _, inner := range inners {
-		rawOne, err := probOneEverywhere(inner, scheduler.SynchronousPolicy{})
+		rawOne, err := probOneEverywhere(inner, scheduler.SynchronousPolicy{}, opt.Workers)
 		if err != nil {
 			return err
 		}
 		trans := transformerFor(inner)
-		syncOne, err := probOneEverywhere(trans, scheduler.SynchronousPolicy{})
+		syncOne, err := probOneEverywhere(trans, scheduler.SynchronousPolicy{}, opt.Workers)
 		if err != nil {
 			return err
 		}
-		distOne, err := probOneEverywhere(trans, scheduler.DistributedPolicy{})
+		distOne, err := probOneEverywhere(trans, scheduler.DistributedPolicy{}, opt.Workers)
 		if err != nil {
 			return err
 		}
@@ -457,13 +458,16 @@ func runE10(w io.Writer, opt Options) error {
 	return nil
 }
 
-func probOneEverywhere(a protocol.Algorithm, pol scheduler.Policy) (bool, error) {
-	chain, enc, err := markov.FromAlgorithm(a, pol, 0)
+func probOneEverywhere(a protocol.Algorithm, pol scheduler.Policy, workers int) (bool, error) {
+	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: markov.DefaultMaxStates, Workers: workers})
 	if err != nil {
 		return false, err
 	}
-	target := markov.LegitimateTarget(a, enc)
-	for _, ok := range chain.ReachesWithProbOne(target) {
+	chain, err := markov.FromSpace(ts)
+	if err != nil {
+		return false, err
+	}
+	for _, ok := range chain.ReachesWithProbOne(markov.TargetFromSpace(ts)) {
 		if !ok {
 			return false, nil
 		}

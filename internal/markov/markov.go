@@ -20,7 +20,13 @@ import (
 
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
+
+// DefaultMaxStates caps the configuration space of Markov-only analyses
+// when callers pass 0 (the chain needs no successor-set bookkeeping, so it
+// historically affords a larger cap than the checker's default).
+const DefaultMaxStates = 1 << 22
 
 // Trans is a weighted transition to a state index.
 type Trans struct {
@@ -300,38 +306,56 @@ func (c *Chain) solveDense(target []bool, idx []int, transient []int) ([]float64
 // FromAlgorithm builds the chain of the algorithm under a randomized
 // scheduler drawing uniformly among pol's activation subsets. Terminal
 // configurations become absorbing states. maxStates caps the configuration
-// space (0 means 1<<22).
+// space (0 means 1<<22). It is a convenience wrapper over the shared
+// statespace engine; analyses that also need the checker should build one
+// statespace.Space and pass it to FromSpace instead of enumerating twice.
 func FromAlgorithm(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Chain, *protocol.Encoder, error) {
 	if maxStates <= 0 {
-		maxStates = 1 << 22
+		maxStates = DefaultMaxStates
 	}
-	enc, err := protocol.NewEncoder(a, maxStates)
+	sp, err := statespace.Build(a, pol, statespace.Options{MaxStates: maxStates})
+	if err != nil {
+		return nil, nil, fmt.Errorf("markov: %w", err)
+	}
+	chain, err := FromSpace(sp)
 	if err != nil {
 		return nil, nil, err
 	}
-	total := int(enc.Total())
-	chain := New(total)
-	cfg := make(protocol.Configuration, a.Graph().N())
-	for s := 0; s < total; s++ {
-		cfg = enc.Decode(int64(s), cfg)
-		enabled := protocol.EnabledProcesses(a, cfg)
-		if len(enabled) == 0 {
+	return chain, sp.Enc, nil
+}
+
+// FromSpace builds the chain over an already-explored transition system's
+// weighted view without copying the probability rows element-by-element:
+// one flat transition buffer backs every row. Terminal states stay
+// absorbing (nil rows).
+func FromSpace(sp *statespace.Space) (*Chain, error) {
+	chain := New(sp.States)
+	flat := make([]Trans, 0, sp.Edges())
+	for s := 0; s < sp.States; s++ {
+		succ, prob := sp.Succ(s), sp.Prob(s)
+		if len(succ) == 0 {
 			continue // absorbing
 		}
-		subsets := pol.Subsets(enabled)
-		w := 1 / float64(len(subsets))
-		var row []Trans
-		for _, sub := range subsets {
-			for _, out := range protocol.StepOutcomes(a, cfg, sub) {
-				row = append(row, Trans{To: int(enc.Encode(out.Config)), Prob: w * out.Prob})
+		sum := 0.0
+		start := len(flat)
+		for i := range succ {
+			if prob[i] <= 0 {
+				return nil, fmt.Errorf("markov: non-positive probability %g in state %d", prob[i], s)
 			}
+			flat = append(flat, Trans{To: int(succ[i]), Prob: prob[i]})
+			sum += prob[i]
 		}
-		if err := chain.SetRow(s, row); err != nil {
-			return nil, nil, fmt.Errorf("markov: building row for %v: %w", cfg, err)
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("markov: row %d sums to %g, want 1", s, sum)
 		}
+		chain.rows[s] = flat[start:len(flat):len(flat)]
 	}
-	return chain, enc, nil
+	return chain, nil
 }
+
+// TargetFromSpace returns the legitimate-set target vector of an explored
+// space (aliasing its legitimacy vector; callers must not modify it).
+func TargetFromSpace(sp *statespace.Space) []bool { return sp.Legit }
 
 // LegitimateTarget returns the boolean target vector of a's legitimate set
 // under the encoder.

@@ -262,6 +262,12 @@ func NewEncoder(a Algorithm, maxTotal int64) (*Encoder, error) {
 // Total returns the number of configurations.
 func (e *Encoder) Total() int64 { return e.total }
 
+// Weight returns the mixed-radix weight of process p: changing p's local
+// state by d changes the encoded index by d*Weight(p). Exploration engines
+// use it to re-encode successors by delta instead of re-encoding the full
+// configuration.
+func (e *Encoder) Weight(p int) int64 { return e.weights[p] }
+
 // Encode returns the dense index of cfg.
 func (e *Encoder) Encode(cfg Configuration) int64 {
 	var idx int64

@@ -339,3 +339,30 @@ func TestValidateLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEncoderWeightDelta checks the delta re-encoding identity exploration
+// engines rely on: changing process p from a to b moves the index by
+// (b-a)*Weight(p).
+func TestEncoderWeightDelta(t *testing.T) {
+	a := &maxFlood{g: newTestRing(t, 4), k: 3}
+	enc, err := NewEncoder(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := make(Configuration, a.Graph().N())
+	for idx := int64(0); idx < enc.Total(); idx++ {
+		cfg = enc.Decode(idx, cfg)
+		for p := 0; p < a.Graph().N(); p++ {
+			orig := cfg[p]
+			for v := 0; v < a.StateCount(p); v++ {
+				cfg[p] = v
+				want := enc.Encode(cfg)
+				got := idx + int64(v-orig)*enc.Weight(p)
+				if got != want {
+					t.Fatalf("idx %d, p=%d, %d->%d: delta encode %d, want %d", idx, p, orig, v, got, want)
+				}
+			}
+			cfg[p] = orig
+		}
+	}
+}

@@ -238,6 +238,47 @@ type Policy interface {
 	Subsets(enabled []int) [][]int
 }
 
+// MaskPolicy is an optional Policy refinement for policies whose allowed
+// subsets depend only on the *size* of the enabled set, not on the process
+// ids in it. SubsetMasks(k) returns the allowed subsets of any k-element
+// enabled set as bitmasks over positions [0,k): bit i selects enabled[i].
+// Exploration engines use masks to enumerate subsets without allocating
+// per-configuration id slices; PolicyMasks falls back to Subsets for
+// policies that do not implement it.
+type MaskPolicy interface {
+	Policy
+	SubsetMasks(k int) []uint64
+}
+
+// PolicyMasks returns pol's allowed activation subsets of enabled as
+// position bitmasks (bit i selects enabled[i]), using the MaskPolicy fast
+// path when available and deriving masks from Subsets otherwise. It panics
+// if the enabled set is wider than 64 processes (no policy of the paper
+// enumerates subsets at that width).
+func PolicyMasks(pol Policy, enabled []int) []uint64 {
+	k := len(enabled)
+	if k > 64 {
+		panic(fmt.Sprintf("scheduler: PolicyMasks on %d enabled processes", k))
+	}
+	if mp, ok := pol.(MaskPolicy); ok {
+		return mp.SubsetMasks(k)
+	}
+	pos := make(map[int]uint64, k)
+	for i, p := range enabled {
+		pos[p] = 1 << uint(i)
+	}
+	subsets := pol.Subsets(enabled)
+	masks := make([]uint64, len(subsets))
+	for i, sub := range subsets {
+		var m uint64
+		for _, p := range sub {
+			m |= pos[p]
+		}
+		masks[i] = m
+	}
+	return masks
+}
+
 // CentralPolicy permits exactly the singletons (the paper's central
 // scheduler).
 type CentralPolicy struct{}
@@ -250,6 +291,15 @@ func (CentralPolicy) Subsets(enabled []int) [][]int {
 	out := make([][]int, len(enabled))
 	for i, p := range enabled {
 		out[i] = []int{p}
+	}
+	return out
+}
+
+// SubsetMasks implements MaskPolicy: the k singletons.
+func (CentralPolicy) SubsetMasks(k int) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = 1 << uint(i)
 	}
 	return out
 }
@@ -283,6 +333,20 @@ func (DistributedPolicy) Subsets(enabled []int) [][]int {
 	return out
 }
 
+// SubsetMasks implements MaskPolicy: all 2^k-1 non-empty position masks.
+// Like Subsets, it refuses enabled sets wider than 20 processes.
+func (DistributedPolicy) SubsetMasks(k int) []uint64 {
+	if k > 20 {
+		panic(fmt.Sprintf("scheduler: DistributedPolicy.SubsetMasks on %d enabled processes", k))
+	}
+	total := uint64(1)<<uint(k) - 1
+	out := make([]uint64, total)
+	for m := uint64(1); m <= total; m++ {
+		out[m-1] = m
+	}
+	return out
+}
+
 // SynchronousPolicy permits only the full enabled set (the paper's
 // synchronous scheduler).
 type SynchronousPolicy struct{}
@@ -295,6 +359,14 @@ func (SynchronousPolicy) Subsets(enabled []int) [][]int {
 	out := make([]int, len(enabled))
 	copy(out, enabled)
 	return [][]int{out}
+}
+
+// SubsetMasks implements MaskPolicy: the single full mask.
+func (SynchronousPolicy) SubsetMasks(k int) []uint64 {
+	if k >= 64 {
+		panic(fmt.Sprintf("scheduler: SynchronousPolicy.SubsetMasks on %d enabled processes", k))
+	}
+	return []uint64{uint64(1)<<uint(k) - 1}
 }
 
 // RandomizedFor returns the online randomized scheduler whose step
@@ -325,4 +397,8 @@ var (
 	_ Policy    = CentralPolicy{}
 	_ Policy    = DistributedPolicy{}
 	_ Policy    = SynchronousPolicy{}
+
+	_ MaskPolicy = CentralPolicy{}
+	_ MaskPolicy = DistributedPolicy{}
+	_ MaskPolicy = SynchronousPolicy{}
 )

@@ -325,3 +325,71 @@ func TestMonitor(t *testing.T) {
 		t.Fatalf("Starved = %v, want [2]", got)
 	}
 }
+
+// TestSubsetMasksMatchSubsets checks that the MaskPolicy fast path of every
+// policy enumerates exactly the subsets of the generic Subsets method, in
+// the same order.
+func TestSubsetMasksMatchSubsets(t *testing.T) {
+	enabled := []int{2, 5, 7, 11}
+	for _, pol := range []Policy{CentralPolicy{}, DistributedPolicy{}, SynchronousPolicy{}} {
+		mp, ok := pol.(MaskPolicy)
+		if !ok {
+			t.Fatalf("%s does not implement MaskPolicy", pol.Name())
+		}
+		masks := mp.SubsetMasks(len(enabled))
+		subsets := pol.Subsets(enabled)
+		if len(masks) != len(subsets) {
+			t.Fatalf("%s: %d masks, %d subsets", pol.Name(), len(masks), len(subsets))
+		}
+		for i, m := range masks {
+			var sub []int
+			for j := range enabled {
+				if m&(1<<uint(j)) != 0 {
+					sub = append(sub, enabled[j])
+				}
+			}
+			if len(sub) == 0 {
+				t.Fatalf("%s: mask %d is empty", pol.Name(), i)
+			}
+			if len(sub) != len(subsets[i]) {
+				t.Fatalf("%s: mask %d selects %v, want %v", pol.Name(), i, sub, subsets[i])
+			}
+			for k := range sub {
+				if sub[k] != subsets[i][k] {
+					t.Fatalf("%s: mask %d selects %v, want %v", pol.Name(), i, sub, subsets[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyMasksFallback checks that PolicyMasks derives correct masks for
+// a policy that does not implement MaskPolicy.
+func TestPolicyMasksFallback(t *testing.T) {
+	enabled := []int{1, 4, 6}
+	masks := PolicyMasks(pairPolicy{}, enabled)
+	want := []uint64{0b011, 0b101, 0b110}
+	if len(masks) != len(want) {
+		t.Fatalf("got %d masks, want %d", len(masks), len(want))
+	}
+	for i := range want {
+		if masks[i] != want[i] {
+			t.Fatalf("mask %d = %b, want %b", i, masks[i], want[i])
+		}
+	}
+}
+
+// pairPolicy permits exactly the 2-element subsets (test-only).
+type pairPolicy struct{}
+
+func (pairPolicy) Name() string { return "pairs" }
+
+func (pairPolicy) Subsets(enabled []int) [][]int {
+	var out [][]int
+	for i := 0; i < len(enabled); i++ {
+		for j := i + 1; j < len(enabled); j++ {
+			out = append(out, []int{enabled[i], enabled[j]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package statespace
+
+// BuildReference is the seed-era exploration strategy kept as an oracle:
+// single-threaded, materializing every successor configuration through
+// protocol.StepOutcomes per activation subset and deduplicating through a
+// map — exactly what checker.Explore and markov.FromAlgorithm each did
+// before they shared one engine. Parity tests compare Build against it;
+// the exploration benchmarks use it as the baseline the engine is measured
+// against. It produces the same Space (same rows, same probability sums).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// BuildReference explores like Build but with the pre-engine two-pass-era
+// code path. maxStates caps the space (0 means DefaultMaxStates).
+func BuildReference(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Space, error) {
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	enc, err := protocol.NewEncoder(a, maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("statespace: %w", err)
+	}
+	if enc.Total() > math.MaxInt32 {
+		return nil, fmt.Errorf("statespace: %d configurations exceed the int32 index range", enc.Total())
+	}
+	total := int(enc.Total())
+	sp := &Space{
+		Alg:    a,
+		Pol:    pol,
+		Enc:    enc,
+		States: total,
+		Legit:  make([]bool, total),
+		off:    make([]int64, total+1),
+	}
+	cfg := make(protocol.Configuration, a.Graph().N())
+	for s := 0; s < total; s++ {
+		sp.off[s] = int64(len(sp.succ))
+		cfg = enc.Decode(int64(s), cfg)
+		sp.Legit[s] = a.Legitimate(cfg)
+		enabled := protocol.EnabledProcesses(a, cfg)
+		if len(enabled) == 0 {
+			continue
+		}
+		subsets := pol.Subsets(enabled)
+		w := 1 / float64(len(subsets))
+		var row edgeSlice
+		for _, sub := range subsets {
+			for _, out := range protocol.StepOutcomes(a, cfg, sub) {
+				row = append(row, edge{to: int32(enc.Encode(out.Config)), p: w * out.Prob})
+			}
+		}
+		sort.Stable(row)
+		for i := 0; i < len(row); {
+			to, p := row[i].to, row[i].p
+			for i++; i < len(row) && row[i].to == to; i++ {
+				p += row[i].p
+			}
+			sp.succ = append(sp.succ, to)
+			sp.prob = append(sp.prob, p)
+		}
+	}
+	sp.off[total] = int64(len(sp.succ))
+	return sp, nil
+}

@@ -1,0 +1,420 @@
+// Package statespace builds the explored transition system of an algorithm
+// under a scheduler policy exactly once, as a compact weighted CSR
+// (compressed-sparse-row) graph shared by every downstream analysis: the
+// exhaustive checker consumes the unweighted successor view, the exact
+// Markov analysis consumes the probability-weighted view of the same
+// built-once space.
+//
+// Exploration is embarrassingly parallel: configurations are identified
+// with dense mixed-radix indexes (protocol.Encoder), so index ranges are
+// explored independently by a worker pool and stitched deterministically.
+// Successor indexes are computed by delta re-encoding (changing process p
+// from state a to b moves the index by (b-a)*Weight(p)), so no successor
+// configuration is ever materialized; activation subsets are enumerated as
+// bitmasks (scheduler.PolicyMasks), so no per-configuration subset slices
+// are allocated. The result is identical — including per-row probability
+// sums, which accumulate in the same order — to the reference
+// single-threaded enumeration in BuildReference.
+package statespace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// DefaultMaxStates caps the configuration space when Options.MaxStates is
+// zero. It matches the historical checker default so that capped analyses
+// fail on the same instances they always failed on.
+const DefaultMaxStates = 1 << 21
+
+// Options tunes Build.
+type Options struct {
+	// MaxStates caps the configuration space (0 means DefaultMaxStates).
+	MaxStates int64
+	// Workers sets the exploration worker-pool size (0 means
+	// runtime.NumCPU()). The result is identical for every worker count.
+	Workers int
+}
+
+// Space is the explored transition system: states are configuration
+// indexes under Enc, and the successors of s — deduplicated, sorted
+// ascending, with the transition probabilities of the policy's randomized
+// scheduler (Definition 6: uniform over the policy's activation subsets)
+// — are the CSR row Succ(s)/Prob(s). States with no enabled process have
+// empty rows (terminal; the Markov view treats them as absorbing).
+type Space struct {
+	Alg    protocol.Algorithm
+	Pol    scheduler.Policy
+	Enc    *protocol.Encoder
+	States int
+	Legit  []bool // Legit[s]: configuration s is legitimate
+
+	off  []int64   // row offsets, len States+1
+	succ []int32   // successor state indexes, sorted per row
+	prob []float64 // transition probabilities aligned with succ
+}
+
+// Succ returns the deduplicated successor state indexes of s, sorted
+// ascending. The slice aliases the space; callers must not modify it.
+func (sp *Space) Succ(s int) []int32 { return sp.succ[sp.off[s]:sp.off[s+1]] }
+
+// Prob returns the transition probabilities aligned with Succ(s) under the
+// policy's randomized scheduler. Rows of non-terminal states sum to 1. The
+// slice aliases the space; callers must not modify it.
+func (sp *Space) Prob(s int) []float64 { return sp.prob[sp.off[s]:sp.off[s+1]] }
+
+// Degree returns the number of distinct successors of s.
+func (sp *Space) Degree(s int) int { return int(sp.off[s+1] - sp.off[s]) }
+
+// IsTerminal reports whether state s has no successors (no enabled
+// process).
+func (sp *Space) IsTerminal(s int) bool { return sp.off[s] == sp.off[s+1] }
+
+// Edges returns the total number of stored transitions.
+func (sp *Space) Edges() int64 { return int64(len(sp.succ)) }
+
+// Config decodes state index s into a fresh configuration.
+func (sp *Space) Config(s int) protocol.Configuration {
+	return sp.Enc.Decode(int64(s), nil)
+}
+
+// edge is one pre-merge transition of the row under construction.
+type edge struct {
+	to int32
+	p  float64
+}
+
+// edgeSlice sorts edges by target, stably, so per-target probability sums
+// accumulate in enumeration order (deterministic across worker counts).
+type edgeSlice []edge
+
+func (e edgeSlice) Len() int           { return len(e) }
+func (e edgeSlice) Less(i, j int) bool { return e[i].to < e[j].to }
+func (e edgeSlice) Swap(i, j int)      { e[i], e[j] = e[j], e[i] }
+
+// chunk is the CSR fragment of one contiguous state range.
+type chunk struct {
+	deg  []int32
+	succ []int32
+	prob []float64
+}
+
+// Build explores a's configuration space under pol with a worker pool and
+// returns the shared transition system. The result is deterministic and
+// independent of Options.Workers.
+func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, error) {
+	maxStates := opt.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	enc, err := protocol.NewEncoder(a, maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("statespace: %w", err)
+	}
+	if enc.Total() > math.MaxInt32 {
+		return nil, fmt.Errorf("statespace: %d configurations exceed the int32 index range", enc.Total())
+	}
+	total := int(enc.Total())
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > total {
+		workers = total
+	}
+	sp := &Space{
+		Alg:    a,
+		Pol:    pol,
+		Enc:    enc,
+		States: total,
+		Legit:  make([]bool, total),
+	}
+	// Small chunks keep workers balanced (states differ wildly in enabled
+	// count); capped chunk count bounds stitching overhead.
+	chunkSize := 1 << 12
+	if c := total / (workers * 8); c > chunkSize {
+		chunkSize = c
+	}
+	numChunks := (total + chunkSize - 1) / chunkSize
+	chunks := make([]chunk, numChunks)
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool // other workers stop claiming chunks once set
+		wg       sync.WaitGroup
+		failMu   sync.Mutex
+		panicked any
+		failErr  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					failed.Store(true)
+					failMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					failMu.Unlock()
+				}
+			}()
+			ex := newExplorer(sp)
+			for !failed.Load() {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := c * chunkSize
+				hi := lo + chunkSize
+				if hi > total {
+					hi = total
+				}
+				ck, err := ex.exploreRange(lo, hi)
+				if err != nil {
+					failed.Store(true)
+					failMu.Lock()
+					if failErr == nil {
+						failErr = err
+					}
+					failMu.Unlock()
+					return
+				}
+				chunks[c] = ck
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	if failErr != nil {
+		return nil, failErr
+	}
+
+	// Stitch the fragments into one CSR, in chunk (= state) order.
+	var edges int64
+	for _, c := range chunks {
+		edges += int64(len(c.succ))
+	}
+	sp.off = make([]int64, total+1)
+	sp.succ = make([]int32, edges)
+	sp.prob = make([]float64, edges)
+	s, at := 0, int64(0)
+	for _, c := range chunks {
+		for _, d := range c.deg {
+			sp.off[s] = at
+			at += int64(d)
+			s++
+		}
+		copy(sp.succ[at-int64(len(c.succ)):], c.succ)
+		copy(sp.prob[at-int64(len(c.prob)):], c.prob)
+	}
+	sp.off[total] = at
+	return sp, nil
+}
+
+// explorer holds one worker's reusable scratch state.
+type explorer struct {
+	sp       *Space
+	det      protocol.Deterministic // non-nil: allocation-free outcome fast path
+	n        int
+	counts   []int // per-process state-domain sizes, for outcome validation
+	maskable bool
+	masks    map[int][]uint64 // subset masks per enabled-set size
+
+	cfg      protocol.Configuration
+	enabled  []int
+	actions  []int
+	outDelta [][]int64 // per enabled position: index deltas of the outcomes
+	outProb  [][]float64
+	actPos   []int // activated positions of the current mask
+	odo      []int // odometer over the activated positions' outcomes
+	row      edgeSlice
+}
+
+func newExplorer(sp *Space) *explorer {
+	n := sp.Alg.Graph().N()
+	ex := &explorer{
+		sp:       sp,
+		n:        n,
+		counts:   make([]int, n),
+		cfg:      make(protocol.Configuration, n),
+		outDelta: make([][]int64, n),
+		outProb:  make([][]float64, n),
+	}
+	for p := 0; p < n; p++ {
+		ex.counts[p] = sp.Alg.StateCount(p)
+	}
+	if det, ok := sp.Alg.(protocol.Deterministic); ok {
+		ex.det = det
+	}
+	if _, ok := sp.Pol.(scheduler.MaskPolicy); ok {
+		// Mask policies depend only on the enabled-set size, so masks are
+		// cacheable per size; id-dependent policies are re-queried per state.
+		ex.maskable = true
+		ex.masks = make(map[int][]uint64)
+	}
+	return ex
+}
+
+func (ex *explorer) subsetMasks() []uint64 {
+	k := len(ex.enabled)
+	if ex.maskable {
+		if m, ok := ex.masks[k]; ok {
+			return m
+		}
+		m := scheduler.PolicyMasks(ex.sp.Pol, ex.enabled)
+		ex.masks[k] = m
+		return m
+	}
+	return scheduler.PolicyMasks(ex.sp.Pol, ex.enabled)
+}
+
+// exploreRange explores states [lo, hi) into a fresh CSR fragment.
+func (ex *explorer) exploreRange(lo, hi int) (chunk, error) {
+	ck := chunk{deg: make([]int32, hi-lo)}
+	for s := lo; s < hi; s++ {
+		before := len(ck.succ)
+		var err error
+		ck.succ, ck.prob, err = ex.exploreState(s, ck.succ, ck.prob)
+		if err != nil {
+			return chunk{}, err
+		}
+		ck.deg[s-lo] = int32(len(ck.succ) - before)
+	}
+	return ck, nil
+}
+
+// exploreState computes the merged successor row of state s and appends it
+// to succ/prob, which are returned regrown. Outcome states are validated
+// against the process domains so a misbehaving Algorithm yields a clean
+// error instead of an aliased state index.
+func (ex *explorer) exploreState(s int, succ []int32, prob []float64) ([]int32, []float64, error) {
+	sp := ex.sp
+	ex.cfg = sp.Enc.Decode(int64(s), ex.cfg)
+	sp.Legit[s] = sp.Alg.Legitimate(ex.cfg)
+
+	// Enabled processes and their outcome distributions, computed once per
+	// state (every activation subset reuses them): outcome j of enabled
+	// position i moves the state index by outDelta[i][j] with probability
+	// outProb[i][j].
+	ex.enabled = ex.enabled[:0]
+	ex.actions = ex.actions[:0]
+	for p := 0; p < ex.n; p++ {
+		if act := sp.Alg.EnabledAction(ex.cfg, p); act != protocol.Disabled {
+			ex.enabled = append(ex.enabled, p)
+			ex.actions = append(ex.actions, act)
+		}
+	}
+	if len(ex.enabled) == 0 {
+		return succ, prob, nil // terminal: empty row, absorbing in the Markov view
+	}
+	deterministic := true
+	for i, p := range ex.enabled {
+		w := sp.Enc.Weight(p)
+		ex.outDelta[i] = ex.outDelta[i][:0]
+		ex.outProb[i] = ex.outProb[i][:0]
+		if ex.det != nil {
+			next := ex.det.DeterministicExecute(ex.cfg, p, ex.actions[i])
+			if next < 0 || next >= ex.counts[p] {
+				return nil, nil, fmt.Errorf("statespace: %s: outcome state %d out of domain [0,%d) at p=%d in %v",
+					sp.Alg.Name(), next, ex.counts[p], p, ex.cfg)
+			}
+			ex.outDelta[i] = append(ex.outDelta[i], int64(next-ex.cfg[p])*w)
+			ex.outProb[i] = append(ex.outProb[i], 1)
+			continue
+		}
+		outs := sp.Alg.Outcomes(ex.cfg, p, ex.actions[i])
+		if len(outs) == 0 {
+			return nil, nil, fmt.Errorf("statespace: %s: no outcomes for enabled action %s at p=%d in %v",
+				sp.Alg.Name(), sp.Alg.ActionName(ex.actions[i]), p, ex.cfg)
+		}
+		for _, o := range outs {
+			if o.State < 0 || o.State >= ex.counts[p] {
+				return nil, nil, fmt.Errorf("statespace: %s: outcome state %d out of domain [0,%d) at p=%d in %v",
+					sp.Alg.Name(), o.State, ex.counts[p], p, ex.cfg)
+			}
+			ex.outDelta[i] = append(ex.outDelta[i], int64(o.State-ex.cfg[p])*w)
+			ex.outProb[i] = append(ex.outProb[i], o.Prob)
+		}
+		if len(outs) > 1 {
+			deterministic = false
+		}
+	}
+
+	masks := ex.subsetMasks()
+	w := 1 / float64(len(masks))
+	ex.row = ex.row[:0]
+	for _, mask := range masks {
+		if deterministic {
+			// Single joint outcome: sum the activated deltas directly.
+			delta := int64(0)
+			for mask != 0 {
+				i := bits.TrailingZeros64(mask)
+				mask &= mask - 1
+				delta += ex.outDelta[i][0]
+			}
+			ex.row = append(ex.row, edge{to: int32(int64(s) + delta), p: w})
+			continue
+		}
+		ex.enumerateMask(s, mask, w)
+	}
+
+	// Merge duplicate targets: stable sort keeps enumeration order within a
+	// target, so probability sums accumulate deterministically.
+	sort.Stable(ex.row)
+	for i := 0; i < len(ex.row); {
+		to, p := ex.row[i].to, ex.row[i].p
+		for i++; i < len(ex.row) && ex.row[i].to == to; i++ {
+			p += ex.row[i].p
+		}
+		succ = append(succ, to)
+		prob = append(prob, p)
+	}
+	return succ, prob, nil
+}
+
+// enumerateMask appends every joint outcome of the activation subset mask
+// (an odometer over the activated positions' outcome lists, last position
+// varying fastest) to the row under construction.
+func (ex *explorer) enumerateMask(s int, mask uint64, w float64) {
+	ex.actPos = ex.actPos[:0]
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		ex.actPos = append(ex.actPos, i)
+	}
+	ex.odo = ex.odo[:0]
+	for range ex.actPos {
+		ex.odo = append(ex.odo, 0)
+	}
+	for {
+		delta, p := int64(0), w
+		for j, i := range ex.actPos {
+			delta += ex.outDelta[i][ex.odo[j]]
+			p *= ex.outProb[i][ex.odo[j]]
+		}
+		ex.row = append(ex.row, edge{to: int32(int64(s) + delta), p: p})
+		j := len(ex.actPos) - 1
+		for ; j >= 0; j-- {
+			ex.odo[j]++
+			if ex.odo[j] < len(ex.outDelta[ex.actPos[j]]) {
+				break
+			}
+			ex.odo[j] = 0
+		}
+		if j < 0 {
+			return
+		}
+	}
+}
