@@ -98,7 +98,8 @@ func BenchmarkCheckerExplore(b *testing.B) {
 }
 
 // BenchmarkMarkovHittingTimes measures exact expected-stabilization-time
-// analysis (chain construction + linear solve) for the 6-ring.
+// analysis (exploration + chain construction + linear solve) for the
+// 6-ring.
 func BenchmarkMarkovHittingTimes(b *testing.B) {
 	alg, err := weakstab.NewTokenRing(6)
 	if err != nil {
@@ -107,12 +108,86 @@ func BenchmarkMarkovHittingTimes(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		chain, enc, err := markov.FromAlgorithm(alg, scheduler.CentralPolicy{}, 0)
+		ts, err := statespace.Build(alg, scheduler.CentralPolicy{}, statespace.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		target := markov.LegitimateTarget(alg, enc)
+		chain, err := markov.FromSpace(ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chain.HittingTimes(markov.TargetFromSpace(ts)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovSolve isolates the analysis layer: chain construction
+// (zero-copy over a pre-built space) + probability-1 reachability + the
+// SCC-condensed hitting-time solve, with no exploration in the loop. This
+// is the quantity the sparse solver work targets.
+func BenchmarkMarkovSolve(b *testing.B) {
+	alg, err := weakstab.NewTokenRing(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := statespace.Build(alg, scheduler.CentralPolicy{}, statespace.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain, err := markov.FromSpace(ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		target := markov.TargetFromSpace(ts)
 		if _, err := chain.HittingTimes(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovSolveLargeDAG solves a 200001-state chain of singleton
+// SCCs (countdown with fair self-loops) — 2e5 transient states, which the
+// pre-condensation solver could only hand to whole-system Gauss–Seidel.
+func BenchmarkMarkovSolveLargeDAG(b *testing.B) {
+	const n = 200_001
+	c := markov.New(n)
+	for i := 1; i < n; i++ {
+		if err := c.SetRow(i, []markov.Trans{{To: i - 1, Prob: 0.5}, {To: i, Prob: 0.5}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	target := make([]bool, n)
+	target[0] = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HittingTimes(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovSolveLargeSCC solves one 150000-state strongly connected
+// block (directed cycle with escape probability 1/2), exercising the
+// red-black Gauss–Seidel path at scale.
+func BenchmarkMarkovSolveLargeSCC(b *testing.B) {
+	const m = 150_000
+	c := markov.New(m + 1)
+	for i := 0; i < m; i++ {
+		if err := c.SetRow(i, []markov.Trans{{To: (i + 1) % m, Prob: 0.5}, {To: m, Prob: 0.5}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	target := make([]bool, m+1)
+	target[m] = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HittingTimes(target); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,24 +5,35 @@
 //
 //	stabbench -list
 //	stabbench [-run E8] [-quick] [-seed 7] [-trials 500]
+//	stabbench -run E12a -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"weakstab/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run executes the command and returns its exit code; keeping it separate
+// from main lets the profile-flushing defers fire before os.Exit.
+func run() int {
 	var (
-		run     = flag.String("run", "", "experiment id to run (default: all)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
-		seed    = flag.Int64("seed", 1, "random seed")
-		trials  = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
-		workers = flag.Int("workers", 0, "state-space exploration workers (0 = all CPUs)")
+		runID      = flag.String("run", "", "experiment id to run (default: all)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "reduced sizes and trial counts")
+		seed       = flag.Int64("seed", 1, "random seed")
+		trials     = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
+		workers    = flag.Int("workers", 0, "state-space exploration workers (0 = all CPUs)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	)
 	flag.Parse()
 
@@ -31,27 +42,56 @@ func main() {
 			fmt.Printf("%-5s %s\n", e.ID, e.Title)
 			fmt.Printf("      claim: %s\n", e.PaperClaim)
 		}
-		return
+		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
 	}
 
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials, Workers: *workers}
-	if *run == "" {
+	if *runID == "" {
 		if err := experiments.RunAll(os.Stdout, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "FAIL:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("all experiments verified against the paper's claims")
-		return
+		return 0
 	}
-	e, ok := experiments.ByID(*run)
+	e, ok := experiments.ByID(*runID)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
+		return 2
 	}
 	fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
 	fmt.Printf("paper claim: %s\n\n", e.PaperClaim)
 	if err := e.Run(os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "FAIL:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -9,6 +9,7 @@ import (
 	"weakstab/internal/markov"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 	"weakstab/internal/transformer"
 )
 
@@ -161,11 +162,16 @@ func TestTransformedConvergesSynchronously(t *testing.T) {
 	g, err := graph.Ring(4)
 	a := mustNew(t, g, err)
 	trans := transformer.New(a)
-	chain, enc, err := markov.FromAlgorithm(trans, scheduler.SynchronousPolicy{}, 0)
+	ts, err := statespace.Build(trans, scheduler.SynchronousPolicy{}, statespace.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	target := markov.LegitimateTarget(trans, enc)
+	chain, err := markov.FromSpace(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := ts.Enc
+	target := markov.TargetFromSpace(ts)
 	for s, ok := range chain.ReachesWithProbOne(target) {
 		if !ok {
 			t.Fatalf("transformed coloring fails prob-1 from %v", enc.Decode(int64(s), nil))

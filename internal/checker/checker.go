@@ -104,33 +104,14 @@ func (sp *Space) CheckPossibleConvergence() ConvergenceResult {
 	return ConvergenceResult{Holds: true}
 }
 
-// reverseReach returns, per state, whether L is reachable.
+// reverseReach returns, per state, whether L is reachable: a parallel
+// backward BFS from L over the space's cached reverse CSR (shared with
+// the Markov analyses of the same space).
 func (sp *Space) reverseReach() []bool {
-	rev := make([][]int32, sp.States)
-	for s := 0; s < sp.States; s++ {
-		for _, t := range sp.Succ(int(s)) {
-			if int(t) != s {
-				rev[t] = append(rev[t], int32(s))
-			}
-		}
-	}
+	dist := sp.Reverse().BackwardBFS(sp.Legit, nil, sp.Workers)
 	out := make([]bool, sp.States)
-	var stack []int32
-	for s := 0; s < sp.States; s++ {
-		if sp.Legit[s] {
-			out[s] = true
-			stack = append(stack, int32(s))
-		}
-	}
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, pre := range rev[s] {
-			if !out[pre] {
-				out[pre] = true
-				stack = append(stack, pre)
-			}
-		}
+	for s := range out {
+		out[s] = dist[s] >= 0
 	}
 	return out
 }
@@ -303,43 +284,17 @@ func (sp *Space) WitnessPath(from protocol.Configuration) []protocol.Configurati
 // MaxShortestConvergencePath returns the maximum over all configurations
 // of the shortest path length to L (the "optimistic" stabilization radius
 // of the instance), or math.Inf(1) if some configuration cannot reach L.
+// The distances come from the same parallel backward BFS over the cached
+// reverse CSR that decides possible convergence.
 func (sp *Space) MaxShortestConvergencePath() float64 {
-	dist := make([]int32, sp.States)
-	for i := range dist {
-		dist[i] = -1
-	}
-	rev := make([][]int32, sp.States)
-	for s := 0; s < sp.States; s++ {
-		for _, t := range sp.Succ(int(s)) {
-			if int(t) != s {
-				rev[t] = append(rev[t], int32(s))
-			}
-		}
-	}
-	var queue []int32
-	for s := 0; s < sp.States; s++ {
-		if sp.Legit[s] {
-			dist[s] = 0
-			queue = append(queue, int32(s))
-		}
-	}
+	dist := sp.Reverse().BackwardBFS(sp.Legit, nil, sp.Workers)
 	maxD := int32(0)
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		for _, pre := range rev[s] {
-			if dist[pre] == -1 {
-				dist[pre] = dist[s] + 1
-				if dist[pre] > maxD {
-					maxD = dist[pre]
-				}
-				queue = append(queue, pre)
-			}
-		}
-	}
 	for s := 0; s < sp.States; s++ {
-		if dist[s] == -1 {
+		if dist[s] < 0 {
 			return math.Inf(1)
+		}
+		if dist[s] > maxD {
+			maxD = dist[s]
 		}
 	}
 	return float64(maxD)

@@ -3,6 +3,8 @@ package checker
 import (
 	"sort"
 
+	"weakstab/internal/statespace"
+
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 )
@@ -62,89 +64,16 @@ func (sp *Space) FindStronglyFairLasso() FairLasso {
 	return FairLasso{}
 }
 
-// sccs runs an iterative Tarjan over the illegitimate subgraph and returns
-// the component id of every state (legitimate states get -1).
+// sccs returns the component id of every state in the illegitimate
+// subgraph (legitimate states get -1), through the shared statespace
+// Tarjan.
 func (sp *Space) sccs() []int32 {
-	const none = int32(-1)
-	n := sp.States
-	comp := make([]int32, n)
-	index := make([]int32, n)
-	low := make([]int32, n)
-	onStack := make([]bool, n)
-	for i := range comp {
-		comp[i] = none
-		index[i] = none
+	include := make([]bool, sp.States)
+	for s := range include {
+		include[s] = !sp.Legit[s]
 	}
-	var (
-		counter int32
-		nextCmp int32
-		tstack  []int32
-	)
-	type frame struct {
-		v    int32
-		next int
-	}
-	for root := 0; root < n; root++ {
-		if sp.Legit[root] || index[root] != none {
-			continue
-		}
-		stack := []frame{{v: int32(root)}}
-		index[root] = counter
-		low[root] = counter
-		counter++
-		tstack = append(tstack, int32(root))
-		onStack[root] = true
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			succs := sp.Succ(int(f.v))
-			recursed := false
-			for f.next < len(succs) {
-				w := succs[f.next]
-				f.next++
-				if sp.Legit[w] {
-					continue
-				}
-				if index[w] == none {
-					index[w] = counter
-					low[w] = counter
-					counter++
-					tstack = append(tstack, w)
-					onStack[w] = true
-					stack = append(stack, frame{v: w})
-					recursed = true
-					break
-				}
-				if onStack[w] && index[w] < low[f.v] {
-					low[f.v] = index[w]
-				}
-			}
-			if recursed {
-				continue
-			}
-			if f.next >= len(succs) {
-				v := f.v
-				if low[v] == index[v] {
-					for {
-						w := tstack[len(tstack)-1]
-						tstack = tstack[:len(tstack)-1]
-						onStack[w] = false
-						comp[w] = nextCmp
-						if w == v {
-							break
-						}
-					}
-					nextCmp++
-				}
-				stack = stack[:len(stack)-1]
-				if len(stack) > 0 {
-					p := stack[len(stack)-1].v
-					if low[v] < low[p] {
-						low[p] = low[v]
-					}
-				}
-			}
-		}
-	}
+	off, succ, _ := sp.CSR()
+	comp, _ := statespace.SCC(sp.States, off, succ, include)
 	return comp
 }
 

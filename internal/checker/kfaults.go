@@ -124,33 +124,11 @@ func (sp *Space) divergingStates() []bool {
 			bad[s] = true
 		}
 	}
-	// Backward closure through illegitimate states.
-	rev := make([][]int32, sp.States)
-	for s := 0; s < sp.States; s++ {
-		if sp.Legit[s] {
-			continue
-		}
-		for _, t := range sp.Succ(int(s)) {
-			if int(t) != s {
-				rev[t] = append(rev[t], int32(s))
-			}
-		}
-	}
-	var stack []int32
-	for s, b := range bad {
-		if b {
-			stack = append(stack, int32(s))
-		}
-	}
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, pre := range rev[s] {
-			if !bad[pre] {
-				bad[pre] = true
-				stack = append(stack, pre)
-			}
-		}
+	// Backward closure through illegitimate states: a BFS over the shared
+	// reverse CSR with legitimate states excluded from path interiors.
+	dist := sp.Reverse().BackwardBFS(bad, sp.Legit, sp.Workers)
+	for s := range bad {
+		bad[s] = dist[s] >= 0
 	}
 	return bad
 }

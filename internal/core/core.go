@@ -100,7 +100,8 @@ func Analyze(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Repo
 
 // AnalyzeWith classifies the algorithm under the policy, building the
 // transition system exactly once: the checker consumes its unweighted view
-// and the Markov analysis its weighted view of the same space.
+// and the Markov analysis its weighted view of the same space, and every
+// reachability pass of both shares the space's cached reverse CSR.
 func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Report, error) {
 	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: opt.MaxStates, Workers: opt.Workers})
 	if err != nil {

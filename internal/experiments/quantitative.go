@@ -155,8 +155,10 @@ func runE12a(w io.Writer, opt Options) error {
 
 // meanHittingTime returns the mean expected hitting time of L over all
 // non-legitimate configurations under the policy's randomized scheduler.
+// The space cap is the engine's index limit: the SCC-condensed sparse
+// solver removed the solver-side ceiling that used to bound this analysis.
 func meanHittingTime(a protocol.Algorithm, pol scheduler.Policy, workers int) (float64, error) {
-	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: markov.DefaultMaxStates, Workers: workers})
+	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: statespace.IndexLimit, Workers: workers})
 	if err != nil {
 		return 0, err
 	}

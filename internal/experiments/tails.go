@@ -47,14 +47,28 @@ func runE17(w io.Writer, opt Options) error {
 	}
 	cases := []caseT{
 		{"trans(tokenring N=5)", transformer.New(tr5), scheduler.DistributedPolicy{},
-			protocol.Configuration{0, 0, 0, 0, 0}, 400},
+			protocol.Configuration{0, 0, 0, 0, 0}, 600},
 		{"trans(syncpair)", transformer.New(sp), scheduler.SynchronousPolicy{},
-			protocol.Configuration{0, 0}, 400},
+			protocol.Configuration{0, 0}, 600},
 		{"tokenring N=5 (raw)", tr5, scheduler.CentralPolicy{},
-			protocol.Configuration{0, 0, 0, 0, 0}, 400},
+			protocol.Configuration{0, 0, 0, 0, 0}, 600},
+	}
+	if !opt.Quick {
+		// Raised cap: the sparse analysis layer affords the 6-ring (4096
+		// configurations, ~4k transient) and a longer tail horizon.
+		tr6, err := tokenring.New(6)
+		if err != nil {
+			return err
+		}
+		cases = append(cases,
+			caseT{"tokenring N=6 (raw)", tr6, scheduler.CentralPolicy{},
+				protocol.Configuration{0, 0, 0, 0, 0, 0}, 1500},
+			caseT{"trans(tokenring N=6)", transformer.New(tr6), scheduler.CentralPolicy{},
+				protocol.Configuration{0, 0, 0, 0, 0, 0}, 4000},
+		)
 	}
 	for _, c := range cases {
-		ts, err := statespace.Build(c.alg, c.pol, statespace.Options{MaxStates: markov.DefaultMaxStates, Workers: opt.Workers})
+		ts, err := statespace.Build(c.alg, c.pol, statespace.Options{MaxStates: statespace.IndexLimit, Workers: opt.Workers})
 		if err != nil {
 			return err
 		}

@@ -9,7 +9,8 @@ import "fmt"
 // O(maxSteps × transitions). The CDF may converge to less than 1 when the
 // target is not reached almost surely.
 func (c *Chain) HittingTimeCDF(target []bool, from, maxSteps int) ([]float64, error) {
-	n := len(c.rows)
+	c.seal()
+	n := c.n
 	if from < 0 || from >= n {
 		return nil, fmt.Errorf("markov: start state %d out of range [0,%d)", from, n)
 	}
@@ -38,16 +39,17 @@ func (c *Chain) HittingTimeCDF(target []bool, from, maxSteps int) ([]float64, er
 			if m == 0 {
 				continue
 			}
-			if c.rows[s] == nil {
+			lo, hi := c.off[s], c.off[s+1]
+			if lo == hi {
 				// Absorbing non-target state: the mass stays forever.
 				next[s] += m
 				continue
 			}
-			for _, tr := range c.rows[s] {
-				if target[tr.To] {
-					absorbed += m * tr.Prob
+			for i := lo; i < hi; i++ {
+				if target[c.succ[i]] {
+					absorbed += m * c.prob[i]
 				} else {
-					next[tr.To] += m * tr.Prob
+					next[c.succ[i]] += m * c.prob[i]
 				}
 			}
 		}

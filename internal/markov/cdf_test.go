@@ -62,11 +62,7 @@ func TestHittingTimeCDFMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chain, enc, err := FromAlgorithm(transformer.New(sp), scheduler.SynchronousPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := LegitimateTarget(transformer.New(sp), enc)
+	chain, target, enc := mustChain(t, transformer.New(sp), scheduler.SynchronousPolicy{})
 	from := int(enc.Encode(protocol.Configuration{0, 0}))
 	cdf, err := chain.HittingTimeCDF(target, from, 200)
 	if err != nil {

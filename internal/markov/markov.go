@@ -10,13 +10,24 @@
 //     probabilistic convergence, Definition 2), decided exactly by graph
 //     analysis (no floating-point tolerance), and
 //   - expected hitting times of L (the "expected stabilization time" the
-//     paper's conclusion calls for), computed by dense Gaussian elimination
-//     for small chains and Gauss–Seidel iteration for large ones.
+//     paper's conclusion calls for), computed by decomposing the linear
+//     system along the strongly connected components of the transient
+//     subgraph and solving the blocks in reverse topological order (see
+//     solver.go).
+//
+// The chain is CSR-native: a chain built FromSpace aliases the explored
+// statespace.Space's off/succ/prob arrays without copying a single
+// transition, so the analyses here run directly over the exploration
+// engine's memory. Hand-built chains (New + SetRow) are sealed into the
+// same layout on first analysis.
 package markov
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
 
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
@@ -38,92 +49,193 @@ type Trans struct {
 // must each sum to 1 (states with no explicit row are treated as absorbing
 // self-loops).
 type Chain struct {
-	rows [][]Trans
+	n    int
+	off  []int64   // row offsets, len n+1
+	succ []int32   // transition targets
+	prob []float64 // transition probabilities aligned with succ
+
+	sp      *statespace.Space // non-nil when aliasing an explored space
+	rows    [][]Trans         // builder rows, pending until the next seal
+	dirty   bool              // rows changed since the last seal
+	workers int               // analysis pool size override (0 = inherit)
+
+	mu       sync.Mutex         // guards seal and the reverse cache
+	rev      statespace.Reverse // cached predecessor view (builder path)
+	revValid bool
 }
 
 // New returns a chain with n states and no transitions (all absorbing).
 func New(n int) *Chain {
-	return &Chain{rows: make([][]Trans, n)}
+	return &Chain{n: n, rows: make([][]Trans, n), dirty: true}
 }
 
 // N returns the number of states.
-func (c *Chain) N() int { return len(c.rows) }
+func (c *Chain) N() int { return c.n }
+
+// SetWorkers overrides the worker-pool size of the analyses (0 restores
+// the default: the exploration pool of the backing space, or NumCPU).
+// Results are identical for every worker count.
+func (c *Chain) SetWorkers(n int) { c.workers = n }
+
+// analysisWorkers resolves the worker-pool size the analyses run on.
+func (c *Chain) analysisWorkers() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	if c.sp != nil && c.sp.Workers > 0 {
+		return c.sp.Workers
+	}
+	return runtime.NumCPU()
+}
 
 // SetRow installs the outgoing distribution of state s. It returns an
 // error if a target is out of range, a probability is non-positive, or the
 // probabilities do not sum to 1 (within 1e-9). Duplicate targets are
-// merged.
+// merged (by sorting the row; rows whose targets are already strictly
+// ascending are installed without sorting).
 func (c *Chain) SetRow(s int, ts []Trans) error {
-	if s < 0 || s >= len(c.rows) {
-		return fmt.Errorf("markov: state %d out of range [0,%d)", s, len(c.rows))
+	if s < 0 || s >= c.n {
+		return fmt.Errorf("markov: state %d out of range [0,%d)", s, c.n)
 	}
 	sum := 0.0
-	merged := map[int]float64{}
-	for _, t := range ts {
-		if t.To < 0 || t.To >= len(c.rows) {
-			return fmt.Errorf("markov: transition target %d out of range [0,%d)", t.To, len(c.rows))
+	ascending := true
+	for i, t := range ts {
+		if t.To < 0 || t.To >= c.n {
+			return fmt.Errorf("markov: transition target %d out of range [0,%d)", t.To, c.n)
 		}
 		if t.Prob <= 0 {
 			return fmt.Errorf("markov: non-positive probability %g", t.Prob)
 		}
 		sum += t.Prob
-		merged[t.To] += t.Prob
+		if i > 0 && t.To <= ts[i-1].To {
+			ascending = false
+		}
 	}
 	if math.Abs(sum-1) > 1e-9 {
 		return fmt.Errorf("markov: row %d sums to %g, want 1", s, sum)
 	}
-	row := make([]Trans, 0, len(merged))
-	for to, p := range merged {
-		row = append(row, Trans{To: to, Prob: p})
+	row := make([]Trans, len(ts))
+	copy(row, ts)
+	if !ascending {
+		sort.Slice(row, func(i, j int) bool { return row[i].To < row[j].To })
+		merged := row[:0]
+		for _, t := range row {
+			if k := len(merged); k > 0 && merged[k-1].To == t.To {
+				merged[k-1].Prob += t.Prob
+			} else {
+				merged = append(merged, t)
+			}
+		}
+		row = merged
+	}
+	if c.rows == nil {
+		c.unseal()
 	}
 	c.rows[s] = row
+	c.dirty = true
+	c.revValid = false
 	return nil
 }
 
-// Row returns the outgoing transitions of s (nil means absorbing).
-func (c *Chain) Row(s int) []Trans { return c.rows[s] }
+// unseal materializes builder rows from the sealed CSR so a sealed chain
+// (built FromSpace, or a hand-built chain after its first analysis) can
+// still be edited through SetRow; a backing space stops being aliased
+// from that point on.
+func (c *Chain) unseal() {
+	rows := make([][]Trans, c.n)
+	for s := 0; s < c.n; s++ {
+		lo, hi := c.off[s], c.off[s+1]
+		if lo == hi {
+			continue
+		}
+		row := make([]Trans, hi-lo)
+		for i := lo; i < hi; i++ {
+			row[i-lo] = Trans{To: int(c.succ[i]), Prob: c.prob[i]}
+		}
+		rows[s] = row
+	}
+	c.rows = rows
+	c.sp = nil
+}
 
-// successors calls fn for each direct successor of s. Absorbing states
-// (nil rows) report themselves.
-func (c *Chain) successors(s int, fn func(int)) {
-	if c.rows[s] == nil {
-		fn(s)
+// seal flattens the builder rows into the CSR arrays the analyses run on
+// and releases the rows (SetRow rematerializes them on demand), so the
+// sealed chain holds one copy of its transitions. The mutex makes
+// concurrent analyses of one chain safe; mutating a chain (SetRow)
+// concurrently with analyses is not supported.
+func (c *Chain) seal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
 		return
 	}
-	for _, t := range c.rows[s] {
-		fn(t.To)
+	edges := 0
+	for _, r := range c.rows {
+		edges += len(r)
 	}
+	c.off = make([]int64, c.n+1)
+	c.succ = make([]int32, edges)
+	c.prob = make([]float64, edges)
+	at := int64(0)
+	for s, r := range c.rows {
+		c.off[s] = at
+		for _, t := range r {
+			c.succ[at] = int32(t.To)
+			c.prob[at] = t.Prob
+			at++
+		}
+	}
+	c.off[c.n] = at
+	c.rows = nil
+	c.dirty = false
+	c.revValid = false
+}
+
+// rowSucc returns the transition targets of s (empty means absorbing).
+func (c *Chain) rowSucc(s int) []int32 { return c.succ[c.off[s]:c.off[s+1]] }
+
+// rowProb returns the transition probabilities aligned with rowSucc(s).
+func (c *Chain) rowProb(s int) []float64 { return c.prob[c.off[s]:c.off[s+1]] }
+
+// Row returns a copy of the outgoing transitions of s (nil means
+// absorbing).
+func (c *Chain) Row(s int) []Trans {
+	c.seal()
+	lo, hi := c.off[s], c.off[s+1]
+	if lo == hi {
+		return nil
+	}
+	row := make([]Trans, hi-lo)
+	for i := lo; i < hi; i++ {
+		row[i-lo] = Trans{To: int(c.succ[i]), Prob: c.prob[i]}
+	}
+	return row
+}
+
+// reverse returns the predecessor view of the chain: the backing space's
+// cached view when the chain aliases one (shared with the checker), or a
+// view built from the chain's own CSR and cached until the next SetRow.
+func (c *Chain) reverse() statespace.Reverse {
+	c.seal()
+	if c.sp != nil {
+		return c.sp.Reverse()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.revValid {
+		c.rev = statespace.ReverseCSR(c.n, c.off, c.succ, c.analysisWorkers())
+		c.revValid = true
+	}
+	return c.rev
 }
 
 // CanReach returns, for every state, whether the target set is reachable
-// with positive probability (a reverse reachability computation).
+// with positive probability (a backward BFS over the shared reverse CSR).
 func (c *Chain) CanReach(target []bool) []bool {
-	n := len(c.rows)
-	rev := make([][]int32, n)
-	for s := 0; s < n; s++ {
-		c.successors(s, func(t int) {
-			if t != s {
-				rev[t] = append(rev[t], int32(s))
-			}
-		})
-	}
-	out := make([]bool, n)
-	var stack []int
-	for s, isT := range target {
-		if isT {
-			out[s] = true
-			stack = append(stack, s)
-		}
-	}
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, pre := range rev[s] {
-			if !out[pre] {
-				out[pre] = true
-				stack = append(stack, int(pre))
-			}
-		}
+	dist := c.reverse().BackwardBFS(target, nil, c.analysisWorkers())
+	out := make([]bool, c.n)
+	for s := range out {
+		out[s] = dist[s] >= 0
 	}
 	return out
 }
@@ -131,176 +243,25 @@ func (c *Chain) CanReach(target []bool) []bool {
 // ReachesWithProbOne returns, for every state s, whether the chain started
 // at s hits the target set with probability 1. For finite chains this holds
 // iff the target is reachable from every state reachable from s, which is
-// decided exactly without numerics.
+// decided exactly without numerics: a state fails iff it can reach a "bad"
+// state (one that cannot reach the target at all) along a path that does
+// not pass through the target first.
 func (c *Chain) ReachesWithProbOne(target []bool) []bool {
-	canReach := c.CanReach(target)
-	n := len(c.rows)
-	// bad: states from which target is unreachable. A state fails prob-1
-	// reachability iff it can reach a bad state without passing through
-	// the target first. Compute backward closure of bad states over edges
-	// whose source is not a target state.
-	bad := make([]bool, n)
-	var stack []int
-	for s := 0; s < n; s++ {
-		if !canReach[s] {
-			bad[s] = true
-			stack = append(stack, s)
-		}
+	rev := c.reverse()
+	workers := c.analysisWorkers()
+	canReach := rev.BackwardBFS(target, nil, workers)
+	bad := make([]bool, c.n)
+	for s := range bad {
+		bad[s] = canReach[s] < 0
 	}
-	rev := make([][]int32, n)
-	for s := 0; s < n; s++ {
-		if target[s] {
-			continue // paths are cut at the target: hitting it is success
-		}
-		c.successors(s, func(t int) {
-			if t != s {
-				rev[t] = append(rev[t], int32(s))
-			}
-		})
-	}
-	canFail := make([]bool, n)
-	copy(canFail, bad)
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, pre := range rev[s] {
-			if !canFail[pre] {
-				canFail[pre] = true
-				stack = append(stack, int(pre))
-			}
-		}
-	}
-	out := make([]bool, n)
-	for s := 0; s < n; s++ {
-		out[s] = target[s] || !canFail[s]
+	// Backward closure of the bad states over edges whose source is not a
+	// target state (paths are cut at the target: hitting it is success).
+	canFail := rev.BackwardBFS(bad, target, workers)
+	out := make([]bool, c.n)
+	for s := range out {
+		out[s] = target[s] || canFail[s] < 0
 	}
 	return out
-}
-
-// HittingTimes returns the expected number of steps to first reach the
-// target set from every state (0 on the target itself, +Inf where the
-// target is not hit with probability 1). Chains up to denseLimit non-target
-// states are solved exactly by Gaussian elimination; larger chains use
-// Gauss–Seidel iteration to within tol.
-func (c *Chain) HittingTimes(target []bool) ([]float64, error) {
-	const (
-		denseLimit = 1500
-		tol        = 1e-12
-		maxIter    = 2_000_000
-	)
-	n := len(c.rows)
-	if len(target) != n {
-		return nil, fmt.Errorf("markov: target length %d != states %d", len(target), n)
-	}
-	probOne := c.ReachesWithProbOne(target)
-	// Index the transient states that do hit the target w.p. 1.
-	idx := make([]int, n)
-	var transient []int
-	for s := 0; s < n; s++ {
-		idx[s] = -1
-		if !target[s] && probOne[s] {
-			idx[s] = len(transient)
-			transient = append(transient, s)
-		}
-	}
-	h := make([]float64, n)
-	for s := 0; s < n; s++ {
-		if !probOne[s] {
-			h[s] = math.Inf(1)
-		}
-	}
-	m := len(transient)
-	if m == 0 {
-		return h, nil
-	}
-	if m <= denseLimit {
-		sol, err := c.solveDense(target, idx, transient)
-		if err != nil {
-			return nil, err
-		}
-		for i, s := range transient {
-			h[s] = sol[i]
-		}
-		return h, nil
-	}
-	// Gauss–Seidel: h(s) = 1 + sum_t P(s,t) h(t), h = 0 on target,
-	// transitions into non-prob-one states cannot occur from transient
-	// prob-one states... they can with probability 0 only; guard anyway.
-	x := make([]float64, m)
-	for iter := 0; iter < maxIter; iter++ {
-		delta := 0.0
-		for i, s := range transient {
-			v := 1.0
-			for _, t := range c.rows[s] {
-				if j := idx[t.To]; j >= 0 {
-					v += t.Prob * x[j]
-				}
-			}
-			if d := math.Abs(v - x[i]); d > delta {
-				delta = d
-			}
-			x[i] = v
-		}
-		if delta < tol {
-			for i, s := range transient {
-				h[s] = x[i]
-			}
-			return h, nil
-		}
-	}
-	return nil, fmt.Errorf("markov: Gauss–Seidel did not converge within %d iterations", maxIter)
-}
-
-// solveDense solves (I-Q)h = 1 by Gaussian elimination with partial
-// pivoting over the transient states.
-func (c *Chain) solveDense(target []bool, idx []int, transient []int) ([]float64, error) {
-	m := len(transient)
-	// Augmented matrix [I-Q | 1].
-	a := make([][]float64, m)
-	for i, s := range transient {
-		row := make([]float64, m+1)
-		row[i] = 1
-		row[m] = 1
-		for _, t := range c.rows[s] {
-			if j := idx[t.To]; j >= 0 {
-				row[j] -= t.Prob
-			}
-		}
-		a[i] = row
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		pivot := col
-		best := math.Abs(a[col][col])
-		for r := col + 1; r < m; r++ {
-			if v := math.Abs(a[r][col]); v > best {
-				best, pivot = v, r
-			}
-		}
-		if best < 1e-14 {
-			return nil, fmt.Errorf("markov: singular hitting-time system at column %d", col)
-		}
-		a[col], a[pivot] = a[pivot], a[col]
-		inv := 1 / a[col][col]
-		for r := col + 1; r < m; r++ {
-			f := a[r][col] * inv
-			if f == 0 {
-				continue
-			}
-			for k := col; k <= m; k++ {
-				a[r][k] -= f * a[col][k]
-			}
-		}
-	}
-	sol := make([]float64, m)
-	for i := m - 1; i >= 0; i-- {
-		v := a[i][m]
-		for k := i + 1; k < m; k++ {
-			v -= a[i][k] * sol[k]
-		}
-		sol[i] = v / a[i][i]
-	}
-	return sol, nil
 }
 
 // FromAlgorithm builds the chain of the algorithm under a randomized
@@ -325,32 +286,50 @@ func FromAlgorithm(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) 
 }
 
 // FromSpace builds the chain over an already-explored transition system's
-// weighted view without copying the probability rows element-by-element:
-// one flat transition buffer backs every row. Terminal states stay
-// absorbing (nil rows).
+// weighted view with zero copying: the chain aliases the space's CSR
+// arrays directly, so constructing it allocates nothing per transition.
+// Terminal states stay absorbing (empty rows). Rows are validated
+// (positive probabilities summing to 1) in parallel without materializing
+// anything.
 func FromSpace(sp *statespace.Space) (*Chain, error) {
-	chain := New(sp.States)
-	flat := make([]Trans, 0, sp.Edges())
-	for s := 0; s < sp.States; s++ {
-		succ, prob := sp.Succ(s), sp.Prob(s)
-		if len(succ) == 0 {
-			continue // absorbing
-		}
-		sum := 0.0
-		start := len(flat)
-		for i := range succ {
-			if prob[i] <= 0 {
-				return nil, fmt.Errorf("markov: non-positive probability %g in state %d", prob[i], s)
+	off, succ, prob := sp.CSR()
+	var (
+		mu   sync.Mutex
+		vErr error
+	)
+	statespace.ForRanges(sp.States, sp.Workers, 1<<14, func(lo, hi int) bool {
+		for s := lo; s < hi; s++ {
+			a, b := off[s], off[s+1]
+			if a == b {
+				continue // absorbing
 			}
-			flat = append(flat, Trans{To: int(succ[i]), Prob: prob[i]})
-			sum += prob[i]
+			sum := 0.0
+			for i := a; i < b; i++ {
+				if prob[i] <= 0 {
+					mu.Lock()
+					if vErr == nil {
+						vErr = fmt.Errorf("markov: non-positive probability %g in state %d", prob[i], s)
+					}
+					mu.Unlock()
+					return false
+				}
+				sum += prob[i]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				mu.Lock()
+				if vErr == nil {
+					vErr = fmt.Errorf("markov: row %d sums to %g, want 1", s, sum)
+				}
+				mu.Unlock()
+				return false
+			}
 		}
-		if math.Abs(sum-1) > 1e-9 {
-			return nil, fmt.Errorf("markov: row %d sums to %g, want 1", s, sum)
-		}
-		chain.rows[s] = flat[start:len(flat):len(flat)]
+		return true
+	})
+	if vErr != nil {
+		return nil, vErr
 	}
-	return chain, nil
+	return &Chain{n: sp.States, off: off, succ: succ, prob: prob, sp: sp}, nil
 }
 
 // TargetFromSpace returns the legitimate-set target vector of an explored
@@ -358,7 +337,11 @@ func FromSpace(sp *statespace.Space) (*Chain, error) {
 func TargetFromSpace(sp *statespace.Space) []bool { return sp.Legit }
 
 // LegitimateTarget returns the boolean target vector of a's legitimate set
-// under the encoder.
+// under the encoder by decoding every configuration.
+//
+// Deprecated: callers holding a statespace.Space already have this vector
+// (the engine records legitimacy during exploration); use TargetFromSpace
+// and skip the full decode loop.
 func LegitimateTarget(a protocol.Algorithm, enc *protocol.Encoder) []bool {
 	total := int(enc.Total())
 	out := make([]bool, total)

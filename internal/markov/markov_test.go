@@ -8,7 +8,23 @@ import (
 	"weakstab/internal/algorithms/syncpair"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
+
+// mustChain builds the space of a under pol and wraps it in a chain,
+// returning the space's target vector and encoder alongside.
+func mustChain(t *testing.T, a protocol.Algorithm, pol scheduler.Policy) (*Chain, []bool, *protocol.Encoder) {
+	t.Helper()
+	ts, err := statespace.Build(a, pol, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := FromSpace(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain, TargetFromSpace(ts), ts.Enc
+}
 
 func TestSetRowValidation(t *testing.T) {
 	c := New(3)
@@ -157,11 +173,7 @@ func TestFromAlgorithmSyncpairCentralNeverConverges(t *testing.T) {
 	// Under the central randomized scheduler Algorithm 3 cannot reach
 	// (T,T) at all: hitting probability 0, not just < 1.
 	a := mustSyncpair(t)
-	chain, enc, err := FromAlgorithm(a, scheduler.CentralPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := LegitimateTarget(a, enc)
+	chain, target, enc := mustChain(t, a, scheduler.CentralPolicy{})
 	ff := int(enc.Encode(protocol.Configuration{syncpair.False, syncpair.False}))
 	if can := chain.CanReach(target); can[ff] {
 		t.Fatal("central scheduler should never reach (T,T) from (F,F)")
@@ -175,11 +187,7 @@ func TestFromAlgorithmSyncpairCentralNeverConverges(t *testing.T) {
 func TestFromAlgorithmSyncpairDistributedExactTimes(t *testing.T) {
 	// Under the distributed randomized scheduler: h(F,F) = 5, h(T,F) = 6.
 	a := mustSyncpair(t)
-	chain, enc, err := FromAlgorithm(a, scheduler.DistributedPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := LegitimateTarget(a, enc)
+	chain, target, enc := mustChain(t, a, scheduler.DistributedPolicy{})
 	h, err := chain.HittingTimes(target)
 	if err != nil {
 		t.Fatal(err)
@@ -198,11 +206,7 @@ func TestFromAlgorithmSyncpairSynchronous(t *testing.T) {
 	// The synchronous scheduler converges deterministically: h(F,F) = 1,
 	// h(T,F) = 2.
 	a := mustSyncpair(t)
-	chain, enc, err := FromAlgorithm(a, scheduler.SynchronousPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := LegitimateTarget(a, enc)
+	chain, target, enc := mustChain(t, a, scheduler.SynchronousPolicy{})
 	h, err := chain.HittingTimes(target)
 	if err != nil {
 		t.Fatal(err)
@@ -222,11 +226,7 @@ func TestHermanExactExpectedTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chain, enc, err := FromAlgorithm(a, scheduler.SynchronousPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := LegitimateTarget(a, enc)
+	chain, target, enc := mustChain(t, a, scheduler.SynchronousPolicy{})
 	h, err := chain.HittingTimes(target)
 	if err != nil {
 		t.Fatal(err)

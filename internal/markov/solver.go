@@ -1,0 +1,584 @@
+// The sparse hitting-time solver. The expected hitting times h of a target
+// set satisfy, over the transient states that hit it with probability 1,
+//
+//	h(s) = 1 + Σ_t P(s,t) h(t),   h = 0 on the target,
+//
+// a sparse linear system (I-Q)h = 1. Instead of densifying it (O(m³) and
+// O(m²) memory) or iterating over the whole system at once, the solver
+// condenses the transient subgraph into its strongly connected components:
+// h(s) only depends on h within s's SCC and on states in SCCs reachable
+// from it, so the blocks form a DAG and are solved in reverse topological
+// order — singleton components by one forward substitution, small blocks
+// by dense Gaussian elimination, large blocks by red-black parallel
+// Gauss–Seidel with residual-confirmed convergence. Independent blocks
+// solve concurrently on a worker pool (Kahn scheduling over the
+// condensation DAG); the result is deterministic for every worker count.
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"weakstab/internal/statespace"
+)
+
+// Solver tunables. Variables rather than constants so the tests can force
+// every block-solve path on small instances.
+var (
+	// denseBlockLimit is the largest SCC solved by direct Gaussian
+	// elimination; larger blocks iterate.
+	denseBlockLimit = 32
+	// gsDeltaTol is the relative per-sweep change below which Gauss–Seidel
+	// checks its residual.
+	gsDeltaTol = 1e-12
+	// gsResidTol is the relative residual below which a block is accepted.
+	gsResidTol = 1e-10
+	// gsMaxIter caps Gauss–Seidel sweeps per block.
+	gsMaxIter = 2_000_000
+	// parallelBlockMin is the smallest block whose sweeps run on the
+	// worker pool.
+	parallelBlockMin = 1 << 13
+)
+
+// gsGrain is the chunk size of parallel Gauss–Seidel sweeps.
+const gsGrain = 1 << 11
+
+// gsCheckEvery is how many sequential Gauss–Seidel sweeps run between
+// convergence probes (the iteration is monotone, so overshooting by a few
+// sweeps is harmless and tracking deltas every sweep is not).
+const gsCheckEvery = 8
+
+// HittingTimes returns the expected number of steps to first reach the
+// target set from every state (0 on the target itself, +Inf where the
+// target is not hit with probability 1), by SCC condensation of the
+// transient subgraph. The answer is exact (up to floating point) for
+// acyclic condensations and dense blocks, and iterated to a confirmed
+// residual inside large strongly connected blocks.
+func (c *Chain) HittingTimes(target []bool) ([]float64, error) {
+	c.seal()
+	if len(target) != c.n {
+		return nil, fmt.Errorf("markov: target length %d != states %d", len(target), c.n)
+	}
+	probOne := c.ReachesWithProbOne(target)
+	h := make([]float64, c.n)
+	transient := make([]bool, c.n)
+	m := 0
+	for s := 0; s < c.n; s++ {
+		switch {
+		case !probOne[s]:
+			h[s] = math.Inf(1)
+		case !target[s]:
+			transient[s] = true
+			m++
+		}
+	}
+	if m == 0 {
+		return h, nil
+	}
+	if err := c.solveSCC(transient, h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// solveSCC fills h over the transient states. Every transient state's
+// successors are transient or target (probability-1 reachability is closed
+// under successors), so h of every cross-block edge target is final by the
+// time a block solves.
+func (c *Chain) solveSCC(transient []bool, h []float64) error {
+	comp, numComp := statespace.SCC(c.n, c.off, c.succ, transient)
+	if numComp == 0 {
+		return nil
+	}
+	// Group the members of each block by counting sort (states ascending
+	// within a block) and record each state's position within its block.
+	blockOff := make([]int32, numComp+1)
+	for s := 0; s < c.n; s++ {
+		if comp[s] >= 0 {
+			blockOff[comp[s]+1]++
+		}
+	}
+	for b := 0; b < numComp; b++ {
+		blockOff[b+1] += blockOff[b]
+	}
+	members := make([]int32, blockOff[numComp])
+	local := make([]int32, c.n)
+	fill := make([]int32, numComp)
+	for s := 0; s < c.n; s++ {
+		if b := comp[s]; b >= 0 {
+			members[blockOff[b]+fill[b]] = int32(s)
+			local[s] = fill[b]
+			fill[b]++
+		}
+	}
+	workers := c.analysisWorkers()
+	if workers <= 1 || numComp == 1 {
+		// Tarjan emits components in reverse topological order (every
+		// cross edge points into a lower id), so ascending id order is
+		// dependency order.
+		for b := int32(0); b < int32(numComp); b++ {
+			states := members[blockOff[b]:blockOff[b+1]]
+			if err := c.solveBlock(b, states, local, comp, h, workers); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Kahn scheduling over the condensation DAG: a block is ready once
+	// every block it has an edge into is solved. waitCount counts cross
+	// edges out of each block; into[C] lists, per cross edge into C, the
+	// edge's source block, so completions decrement exactly once per edge.
+	waitCount := make([]int64, numComp)
+	intoOff := make([]int64, numComp+1)
+	for s := 0; s < c.n; s++ {
+		b := comp[s]
+		if b < 0 {
+			continue
+		}
+		for _, t := range c.rowSucc(s) {
+			if tb := comp[t]; tb >= 0 && tb != b {
+				waitCount[b]++
+				intoOff[tb+1]++
+			}
+		}
+	}
+	for b := 0; b < numComp; b++ {
+		intoOff[b+1] += intoOff[b]
+	}
+	into := make([]int32, intoOff[numComp])
+	fill64 := make([]int64, numComp)
+	for s := 0; s < c.n; s++ {
+		b := comp[s]
+		if b < 0 {
+			continue
+		}
+		for _, t := range c.rowSucc(s) {
+			if tb := comp[t]; tb >= 0 && tb != b {
+				into[intoOff[tb]+fill64[tb]] = b
+				fill64[tb]++
+			}
+		}
+	}
+	// The Kahn pool needs at most one goroutine per block; the full worker
+	// budget still reaches solveBlock so a dominant block's sweeps can use
+	// every core even when the condensation has few components.
+	poolWorkers := workers
+	if poolWorkers > numComp {
+		poolWorkers = numComp
+	}
+	ready := make(chan int32, numComp)
+	for b := 0; b < numComp; b++ {
+		if waitCount[b] == 0 {
+			ready <- int32(b)
+		}
+	}
+	var (
+		remaining atomic.Int64
+		aborted   atomic.Bool
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	remaining.Store(int64(numComp))
+	for w := 0; w < poolWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range ready {
+				if !aborted.Load() {
+					states := members[blockOff[b]:blockOff[b+1]]
+					if err := c.solveBlock(b, states, local, comp, h, workers); err != nil {
+						aborted.Store(true)
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+				}
+				// Propagate readiness even after an error so every queued
+				// block drains and the channel closes.
+				for _, p := range into[intoOff[b]:intoOff[b+1]] {
+					if atomic.AddInt64(&waitCount[p], -1) == 0 {
+						ready <- p
+					}
+				}
+				if remaining.Add(-1) == 0 {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// solveBlock solves one strongly connected block, reading final h values
+// for every out-of-block edge target and writing h for its members.
+func (c *Chain) solveBlock(b int32, states []int32, local, comp []int32, h []float64, workers int) error {
+	if len(states) == 1 {
+		// Singleton: h(s) = (1 + Σ_{t≠s} P(s,t) h(t)) / (1 - P(s,s)) — a
+		// trivial forward substitution on the condensation DAG.
+		s := int(states[0])
+		succ, prob := c.rowSucc(s), c.rowProb(s)
+		ext, self := 1.0, 0.0
+		for k, t := range succ {
+			if int(t) == s {
+				self += prob[k]
+			} else {
+				ext += prob[k] * h[t]
+			}
+		}
+		d := 1 - self
+		if d <= 0 {
+			return fmt.Errorf("markov: singular hitting-time system at state %d (self-loop mass %g)", s, self)
+		}
+		h[s] = ext / d
+		return nil
+	}
+	if len(states) <= denseBlockLimit {
+		return c.solveBlockDense(b, states, local, comp, h)
+	}
+	return c.solveBlockGS(b, states, local, comp, h, workers)
+}
+
+// solveBlockDense eliminates one block directly: rows are (I-Q) restricted
+// to the block, the right-hand side folds in the solved mass leaving it.
+func (c *Chain) solveBlockDense(b int32, states []int32, local, comp []int32, h []float64) error {
+	m := len(states)
+	flat := make([]float64, m*(m+1))
+	a := make([][]float64, m)
+	for i, sv := range states {
+		s := int(sv)
+		row := flat[i*(m+1) : (i+1)*(m+1)]
+		row[i] = 1
+		rhs := 1.0
+		succ, prob := c.rowSucc(s), c.rowProb(s)
+		for k, t := range succ {
+			if comp[t] == b {
+				row[local[t]] -= prob[k]
+			} else {
+				rhs += prob[k] * h[t]
+			}
+		}
+		row[m] = rhs
+		a[i] = row
+	}
+	sol, err := gaussSolve(a)
+	if err != nil {
+		return err
+	}
+	for i, sv := range states {
+		h[sv] = sol[i]
+	}
+	return nil
+}
+
+// solveBlockGS iterates one large block with red-black Gauss–Seidel: the
+// block's states are split into two color ranges; each half-sweep updates
+// one color in parallel, reading the other color's fresh values and its
+// own color's snapshot, so sweeps are race-free and deterministic for
+// every worker count. Iteration stops only after an explicit residual
+// pass confirms convergence.
+func (c *Chain) solveBlockGS(b int32, states []int32, local, comp []int32, h []float64, workers int) error {
+	m := len(states)
+	// Compact the block: in-block edges in local indexes plus, per state,
+	// the constant ext (1 + mass into solved states) and diagonal 1-P(s,s).
+	bOff := make([]int64, m+1)
+	ext := make([]float64, m)
+	diag := make([]float64, m)
+	nnz := int64(0)
+	for i, sv := range states {
+		s := int(sv)
+		succ, prob := c.rowSucc(s), c.rowProb(s)
+		e, self := 1.0, 0.0
+		for k, t := range succ {
+			switch {
+			case int(t) == s:
+				self += prob[k]
+			case comp[t] == b:
+				nnz++
+			default:
+				e += prob[k] * h[t]
+			}
+		}
+		d := 1 - self
+		if d <= 0 {
+			return fmt.Errorf("markov: singular hitting-time system at state %d (self-loop mass %g)", s, self)
+		}
+		ext[i], diag[i] = e, d
+		bOff[i+1] = nnz
+	}
+	bTo := make([]int32, nnz)
+	bP := make([]float64, nnz)
+	at := int64(0)
+	for _, sv := range states {
+		s := int(sv)
+		succ, prob := c.rowSucc(s), c.rowProb(s)
+		for k, t := range succ {
+			if int(t) != s && comp[t] == b {
+				bTo[at] = local[t]
+				bP[at] = prob[k]
+				at++
+			}
+		}
+	}
+
+	x := make([]float64, m)
+	residual := func() (float64, float64) {
+		r, amax := 0.0, 0.0
+		for i := 0; i < m; i++ {
+			v := ext[i]
+			for k := bOff[i]; k < bOff[i+1]; k++ {
+				v += bP[k] * x[bTo[k]]
+			}
+			if d := math.Abs(v - diag[i]*x[i]); d > r {
+				r = d
+			}
+			if a := math.Abs(x[i]); a > amax {
+				amax = a
+			}
+		}
+		return r, amax
+	}
+	if m < parallelBlockMin {
+		// Pure sequential Gauss–Seidel: every update reads the freshest
+		// values, converging roughly twice as fast as the colored scheme.
+		// The iteration is monotone non-decreasing from x = 0, so sweeps
+		// run untracked in batches of gsCheckEvery, with convergence
+		// (delta, then residual) probed only on the batch's last sweep.
+		for iter := 0; iter < gsMaxIter; iter += gsCheckEvery {
+			for batch := 1; batch < gsCheckEvery; batch++ {
+				for i := 0; i < m; i++ {
+					v := ext[i]
+					for k := bOff[i]; k < bOff[i+1]; k++ {
+						v += bP[k] * x[bTo[k]]
+					}
+					x[i] = v / diag[i]
+				}
+			}
+			delta, amax := 0.0, 0.0
+			for i := 0; i < m; i++ {
+				v := ext[i]
+				for k := bOff[i]; k < bOff[i+1]; k++ {
+					v += bP[k] * x[bTo[k]]
+				}
+				v /= diag[i]
+				if d := math.Abs(v - x[i]); d > delta {
+					delta = d
+				}
+				if a := math.Abs(v); a > amax {
+					amax = a
+				}
+				x[i] = v
+			}
+			scale := math.Max(1, amax)
+			if delta <= gsDeltaTol*scale {
+				if r, _ := residual(); r <= gsResidTol*scale {
+					for i, sv := range states {
+						h[sv] = x[i]
+					}
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("markov: Gauss–Seidel block of %d states did not converge within %d sweeps", m, gsMaxIter)
+	}
+
+	// Large block: red-black scheme. The choice depends only on the block
+	// size — never on the worker count — so the iterates (and the result)
+	// are identical whether the sweeps run serially or on the pool.
+	snap := make([]float64, m)
+	half := (m + 1) / 2
+	par := workers > 1
+	// phase updates the color range [colorLo, colorHi): same-color
+	// neighbors read the pre-phase snapshot, the other color reads live
+	// values. Returns the max update delta and max |x| of the range.
+	phase := func(colorLo, colorHi int) (float64, float64) {
+		copy(snap[colorLo:colorHi], x[colorLo:colorHi])
+		update := func(lo, hi int) (float64, float64) {
+			delta, amax := 0.0, 0.0
+			for i := lo; i < hi; i++ {
+				v := ext[i]
+				for k := bOff[i]; k < bOff[i+1]; k++ {
+					j := int(bTo[k])
+					if j >= colorLo && j < colorHi {
+						v += bP[k] * snap[j]
+					} else {
+						v += bP[k] * x[j]
+					}
+				}
+				v /= diag[i]
+				if d := math.Abs(v - snap[i]); d > delta {
+					delta = d
+				}
+				if a := math.Abs(v); a > amax {
+					amax = a
+				}
+				x[i] = v
+			}
+			return delta, amax
+		}
+		if !par {
+			return update(colorLo, colorHi)
+		}
+		var (
+			mu          sync.Mutex
+			delta, amax float64
+		)
+		statespace.ForRanges(colorHi-colorLo, workers, gsGrain, func(lo, hi int) bool {
+			d, a := update(colorLo+lo, colorLo+hi)
+			mu.Lock()
+			if d > delta {
+				delta = d
+			}
+			if a > amax {
+				amax = a
+			}
+			mu.Unlock()
+			return true
+		})
+		return delta, amax
+	}
+	parResidual := func() float64 {
+		check := func(lo, hi int) float64 {
+			r := 0.0
+			for i := lo; i < hi; i++ {
+				v := ext[i]
+				for k := bOff[i]; k < bOff[i+1]; k++ {
+					v += bP[k] * x[bTo[k]]
+				}
+				if d := math.Abs(v - diag[i]*x[i]); d > r {
+					r = d
+				}
+			}
+			return r
+		}
+		if !par {
+			r, _ := residual()
+			return r
+		}
+		var (
+			mu sync.Mutex
+			r  float64
+		)
+		statespace.ForRanges(m, workers, gsGrain, func(lo, hi int) bool {
+			d := check(lo, hi)
+			mu.Lock()
+			if d > r {
+				r = d
+			}
+			mu.Unlock()
+			return true
+		})
+		return r
+	}
+	for iter := 0; iter < gsMaxIter; iter++ {
+		d1, a1 := phase(0, half)
+		d2, a2 := phase(half, m)
+		delta, scale := math.Max(d1, d2), math.Max(1, math.Max(a1, a2))
+		if delta <= gsDeltaTol*scale && parResidual() <= gsResidTol*scale {
+			for i, sv := range states {
+				h[sv] = x[i]
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("markov: Gauss–Seidel block of %d states did not converge within %d sweeps", m, gsMaxIter)
+}
+
+// gaussSolve solves the augmented system [A | b] (m rows of m+1 columns)
+// in place by Gaussian elimination with partial pivoting.
+func gaussSolve(a [][]float64) ([]float64, error) {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < m; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("markov: singular hitting-time system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		pr := a[col][col:]
+		inv := 1 / pr[0]
+		for r := col + 1; r < m; r++ {
+			rr := a[r][col : m+1]
+			f := rr[0] * inv
+			if f == 0 {
+				continue
+			}
+			for k, pv := range pr {
+				rr[k] -= f * pv
+			}
+		}
+	}
+	sol := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		v := a[i][m]
+		for k := i + 1; k < m; k++ {
+			v -= a[i][k] * sol[k]
+		}
+		sol[i] = v / a[i][i]
+	}
+	return sol, nil
+}
+
+// hittingTimesDense is the pre-condensation whole-system dense solver,
+// kept as the parity oracle the sparse SCC solver is pinned against in
+// tests. It densifies the full transient system ((I-Q)h = 1) regardless
+// of size — O(m²) memory, O(m³) time — so it is only usable on small
+// chains.
+func (c *Chain) hittingTimesDense(target []bool) ([]float64, error) {
+	c.seal()
+	if len(target) != c.n {
+		return nil, fmt.Errorf("markov: target length %d != states %d", len(target), c.n)
+	}
+	probOne := c.ReachesWithProbOne(target)
+	idx := make([]int, c.n)
+	var transient []int
+	for s := 0; s < c.n; s++ {
+		idx[s] = -1
+		if !target[s] && probOne[s] {
+			idx[s] = len(transient)
+			transient = append(transient, s)
+		}
+	}
+	h := make([]float64, c.n)
+	for s := 0; s < c.n; s++ {
+		if !probOne[s] {
+			h[s] = math.Inf(1)
+		}
+	}
+	m := len(transient)
+	if m == 0 {
+		return h, nil
+	}
+	a := make([][]float64, m)
+	for i, s := range transient {
+		row := make([]float64, m+1)
+		row[i] = 1
+		row[m] = 1
+		succ, prob := c.rowSucc(s), c.rowProb(s)
+		for k, t := range succ {
+			if j := idx[t]; j >= 0 {
+				row[j] -= prob[k]
+			}
+		}
+		a[i] = row
+	}
+	sol, err := gaussSolve(a)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range transient {
+		h[s] = sol[i]
+	}
+	return h, nil
+}

@@ -1,0 +1,324 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"weakstab/internal/algorithms/herman"
+	"weakstab/internal/algorithms/syncpair"
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
+	"weakstab/internal/transformer"
+)
+
+// solverCases enumerates small algorithm × policy instances covering every
+// structural shape the solver sees: deterministic and probabilistic
+// chains, single-block and many-block condensations, and instances with
+// divergent (+Inf) states.
+func solverCases(t *testing.T) []*statespace.Space {
+	t.Helper()
+	var algs []protocol.Algorithm
+	for _, n := range []int{3, 4, 5} {
+		a, err := tokenring.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		algs = append(algs, a, transformer.New(a))
+	}
+	sp, err := syncpair.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs = append(algs, sp, transformer.New(sp))
+	h3, err := herman.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs = append(algs, h3)
+	policies := []scheduler.Policy{
+		scheduler.CentralPolicy{},
+		scheduler.DistributedPolicy{},
+		scheduler.SynchronousPolicy{},
+	}
+	var spaces []*statespace.Space
+	for _, a := range algs {
+		for _, pol := range policies {
+			ts, err := statespace.Build(a, pol, statespace.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", a.Name(), pol.Name(), err)
+			}
+			spaces = append(spaces, ts)
+		}
+	}
+	return spaces
+}
+
+func assertHittingTimesMatch(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for s := range got {
+		gi, wi := math.IsInf(got[s], 1), math.IsInf(want[s], 1)
+		if gi != wi {
+			t.Fatalf("%s: state %d: got %g, want %g", label, s, got[s], want[s])
+		}
+		if gi {
+			continue
+		}
+		if diff := math.Abs(got[s] - want[s]); diff > 1e-9*math.Max(1, math.Abs(want[s])) {
+			t.Fatalf("%s: state %d: got %.15g, want %.15g (diff %g)", label, s, got[s], want[s], diff)
+		}
+	}
+}
+
+// TestHittingTimesMatchesDenseOracle pins the sparse SCC solver against
+// the whole-system dense elimination oracle on every case, for both the
+// serial and the Kahn-scheduled parallel block order.
+func TestHittingTimesMatchesDenseOracle(t *testing.T) {
+	for _, ts := range solverCases(t) {
+		label := ts.Alg.Name() + "/" + ts.Pol.Name()
+		chain, err := FromSpace(ts)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		target := TargetFromSpace(ts)
+		want, err := chain.hittingTimesDense(target)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", label, err)
+		}
+		chain.SetWorkers(1)
+		serial, err := chain.HittingTimes(target)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", label, err)
+		}
+		assertHittingTimesMatch(t, label+" (serial)", serial, want)
+		chain.SetWorkers(4)
+		parallel, err := chain.HittingTimes(target)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", label, err)
+		}
+		// Block solves read identical inputs in every schedule, so the
+		// parallel result is bit-identical, not merely close.
+		for s := range parallel {
+			if parallel[s] != serial[s] && !(math.IsInf(parallel[s], 1) && math.IsInf(serial[s], 1)) {
+				t.Fatalf("%s: worker count changed h[%d]: %.17g vs %.17g", label, s, parallel[s], serial[s])
+			}
+		}
+	}
+}
+
+// TestHittingTimesForcedGaussSeidel lowers the dense-block limit to 1 so
+// every non-singleton SCC runs the Gauss–Seidel path (and, with
+// parallelBlockMin dropped, the red-black colored scheme), then re-checks
+// parity with the dense oracle.
+func TestHittingTimesForcedGaussSeidel(t *testing.T) {
+	saveDense, savePar := denseBlockLimit, parallelBlockMin
+	defer func() { denseBlockLimit, parallelBlockMin = saveDense, savePar }()
+	for _, name := range []string{"sequential-gs", "red-black-gs"} {
+		denseBlockLimit = 1
+		if name == "red-black-gs" {
+			parallelBlockMin = 2
+		} else {
+			parallelBlockMin = savePar
+		}
+		for _, ts := range solverCases(t) {
+			label := name + "/" + ts.Alg.Name() + "/" + ts.Pol.Name()
+			chain, err := FromSpace(ts)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			target := TargetFromSpace(ts)
+			want, err := chain.hittingTimesDense(target)
+			if err != nil {
+				t.Fatalf("%s: oracle: %v", label, err)
+			}
+			chain.SetWorkers(4)
+			got, err := chain.HittingTimes(target)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			assertHittingTimesMatch(t, label, got, want)
+		}
+	}
+}
+
+// TestHittingTimesDivergentStates exercises the +Inf path: states that
+// reach an absorbing trap with positive probability have infinite expected
+// hitting time, while the solver still resolves the prob-one region
+// exactly.
+func TestHittingTimesDivergentStates(t *testing.T) {
+	// 0 -> {1, 2} fair coin; 1 -> target 3 w.p. 1; 2 is an absorbing trap.
+	// 4 -> 1 w.p. 1 stays prob-one despite its neighbors.
+	c := New(5)
+	if err := c.SetRow(0, []Trans{{To: 1, Prob: 0.5}, {To: 2, Prob: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRow(1, []Trans{{To: 3, Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRow(4, []Trans{{To: 1, Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	target := []bool{false, false, false, true, false}
+	h, err := c.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(h[0], 1) || !math.IsInf(h[2], 1) {
+		t.Fatalf("divergent states must be +Inf: %v", h)
+	}
+	if math.Abs(h[1]-1) > 1e-12 || math.Abs(h[4]-2) > 1e-12 || h[3] != 0 {
+		t.Fatalf("prob-one region wrong: %v", h)
+	}
+	want, err := c.hittingTimesDense(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertHittingTimesMatch(t, "divergent", h, want)
+}
+
+// TestHittingTimesLargeDAGChain solves a 200000-transient-state chain of
+// singleton components (countdown with fair self-loops, h(i) = 2i) — far
+// past the old dense limit, with no iteration at all: pure forward
+// substitution over the condensation DAG.
+func TestHittingTimesLargeDAGChain(t *testing.T) {
+	const n = 200_001
+	c := New(n)
+	for i := 1; i < n; i++ {
+		if err := c.SetRow(i, []Trans{{To: i - 1, Prob: 0.5}, {To: i, Prob: 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := make([]bool, n)
+	target[0] = true
+	h, err := c.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 1000, 99_999, n - 1} {
+		want := 2 * float64(i)
+		if math.Abs(h[i]-want) > 1e-9*want {
+			t.Fatalf("h(%d) = %.15g, want %g", i, h[i], want)
+		}
+	}
+}
+
+// TestHittingTimesLargeSCCBlock solves a single strongly connected block
+// of 150000 states (a directed cycle with escape probability 1/2 per
+// step, so h = 2 everywhere) — one SCC above parallelBlockMin, exercising
+// the red-black parallel Gauss–Seidel at scale.
+func TestHittingTimesLargeSCCBlock(t *testing.T) {
+	const m = 150_000
+	n := m + 1
+	c := New(n)
+	for i := 0; i < m; i++ {
+		next := (i + 1) % m
+		if err := c.SetRow(i, []Trans{{To: next, Prob: 0.5}, {To: m, Prob: 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := make([]bool, n)
+	target[m] = true
+	for _, workers := range []int{1, 4} {
+		c.SetWorkers(workers)
+		h, err := c.HittingTimes(target)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, i := range []int{0, 1, m / 2, m - 1} {
+			if math.Abs(h[i]-2) > 1e-9 {
+				t.Fatalf("workers=%d: h(%d) = %.15g, want 2", workers, i, h[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentAnalysesOnBuilderChain runs analyses of one hand-built
+// chain from several goroutines: the lazy seal and reverse-CSR cache must
+// be safe under concurrent readers (mutation via SetRow is excluded by
+// contract).
+func TestConcurrentAnalysesOnBuilderChain(t *testing.T) {
+	const n = 3000
+	c := New(n)
+	for i := 1; i < n; i++ {
+		if err := c.SetRow(i, []Trans{{To: i - 1, Prob: 0.5}, {To: i, Prob: 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := make([]bool, n)
+	target[0] = true
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h, err := c.HittingTimes(target)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if math.Abs(h[n-1]-2*float64(n-1)) > 1e-9*float64(n) {
+				errs[g] = fmt.Errorf("h(%d) = %g", n-1, h[n-1])
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHittingTimesAfterSetRowOnSpaceChain edits a chain built FromSpace
+// and checks the analyses see the edit (the space stops being aliased).
+func TestHittingTimesAfterSetRowOnSpaceChain(t *testing.T) {
+	a, err := syncpair.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := statespace.Build(a, scheduler.DistributedPolicy{}, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := FromSpace(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := TargetFromSpace(ts)
+	// Redirect every state straight to a target state: all hitting times
+	// drop to 1 (or 0 on the target).
+	var legit int
+	for s, ok := range target {
+		if ok {
+			legit = s
+		}
+	}
+	for s := 0; s < chain.N(); s++ {
+		if s == legit {
+			continue
+		}
+		if err := chain.SetRow(s, []Trans{{To: legit, Prob: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := chain.HittingTimes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range h {
+		want := 1.0
+		if s == legit {
+			want = 0
+		}
+		if math.Abs(h[s]-want) > 1e-12 {
+			t.Fatalf("h[%d] = %g, want %g", s, h[s], want)
+		}
+	}
+}

@@ -291,6 +291,22 @@ func (e *Encoder) Decode(idx int64, dst Configuration) Configuration {
 	return dst
 }
 
+// DecodeNext advances dst, which must hold the decoding of some index
+// idx, in place to the decoding of idx+1: a mixed-radix odometer
+// increment, amortized O(1) versus Decode's per-process divisions.
+// Exploration engines sweeping contiguous index ranges use it to decode
+// each state from its predecessor. Incrementing past the last index wraps
+// to the all-zero configuration.
+func (e *Encoder) DecodeNext(dst Configuration) {
+	for p := range e.counts {
+		dst[p]++
+		if dst[p] < e.counts[p] {
+			return
+		}
+		dst[p] = 0
+	}
+}
+
 // RandomConfiguration samples a configuration uniformly from a's space.
 func RandomConfiguration(a Algorithm, rng *rand.Rand) Configuration {
 	n := a.Graph().N()

@@ -241,6 +241,30 @@ func TestEncoderRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDecodeNextMatchesDecode(t *testing.T) {
+	alg := &maxFlood{g: newTestRing(t, 4), k: 3}
+	enc, err := NewEncoder(alg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odo := enc.Decode(0, nil)
+	want := make(Configuration, 4)
+	for idx := int64(1); idx < enc.Total(); idx++ {
+		enc.DecodeNext(odo)
+		want = enc.Decode(idx, want)
+		if !odo.Equal(want) {
+			t.Fatalf("odometer at %d = %v, Decode = %v", idx, odo, want)
+		}
+	}
+	// Incrementing past the last index wraps to all zeros.
+	enc.DecodeNext(odo)
+	for p, s := range odo {
+		if s != 0 {
+			t.Fatalf("wrap-around left state %d at process %d", s, p)
+		}
+	}
+}
+
 func TestEncoderRoundTripQuick(t *testing.T) {
 	alg := &maxFlood{g: newTestRing(t, 5), k: 4}
 	enc, err := NewEncoder(alg, 0)

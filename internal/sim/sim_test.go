@@ -10,6 +10,7 @@ import (
 	"weakstab/internal/markov"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
 
 func mustTokenRing(t *testing.T, n int) *tokenring.Algorithm {
@@ -106,12 +107,15 @@ func TestTrialsRandomInitial(t *testing.T) {
 	}
 	// Cross-check against the exact mean hitting time over all
 	// configurations (uniform initial distribution).
-	chain, enc, err := markov.FromAlgorithm(a, scheduler.DistributedPolicy{}, 0)
+	ts, err := statespace.Build(a, scheduler.DistributedPolicy{}, statespace.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	target := markov.LegitimateTarget(a, enc)
-	h, err := chain.HittingTimes(target)
+	chain, err := markov.FromSpace(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := chain.HittingTimes(markov.TargetFromSpace(ts))
 	if err != nil {
 		t.Fatal(err)
 	}

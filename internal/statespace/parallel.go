@@ -1,0 +1,77 @@
+package statespace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForRanges splits [0, total) into contiguous chunks of grain indexes (the
+// last chunk may be shorter) and runs fn over them on a pool of workers
+// (0 means runtime.NumCPU()). Chunks are claimed dynamically, so uneven
+// per-index costs stay balanced. fn returning false cancels the remaining
+// unclaimed chunks; a panic in fn is re-raised on the caller after the
+// pool drains. This is the index-range splitting the exploration engine
+// runs on, shared by the reverse-CSR builder, the reachability frontiers
+// and the hitting-time block solver.
+func ForRanges(total, workers, grain int, fn func(lo, hi int) bool) {
+	if total <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	numChunks := (total + grain - 1) / grain
+	if workers > numChunks {
+		workers = numChunks
+	}
+	if workers == 1 {
+		for lo := 0; lo < total; lo += grain {
+			if !fn(lo, min(lo+grain, total)) {
+				return
+			}
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					stopped.Store(true)
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for !stopped.Load() {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := c * grain
+				if !fn(lo, min(lo+grain, total)) {
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

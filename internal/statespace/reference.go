@@ -32,12 +32,13 @@ func BuildReference(a protocol.Algorithm, pol scheduler.Policy, maxStates int64)
 	}
 	total := int(enc.Total())
 	sp := &Space{
-		Alg:    a,
-		Pol:    pol,
-		Enc:    enc,
-		States: total,
-		Legit:  make([]bool, total),
-		off:    make([]int64, total+1),
+		Alg:     a,
+		Pol:     pol,
+		Enc:     enc,
+		States:  total,
+		Legit:   make([]bool, total),
+		Workers: 1,
+		off:     make([]int64, total+1),
 	}
 	cfg := make(protocol.Configuration, a.Graph().N())
 	for s := 0; s < total; s++ {

@@ -1,0 +1,147 @@
+package statespace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCSR builds a deterministic pseudo-random forward CSR with the
+// given state count and expected out-degree (self-loops included on
+// purpose: ReverseCSR must drop them).
+func randomCSR(states, degree int, seed int64) (off []int64, succ []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	off = make([]int64, states+1)
+	for s := 0; s < states; s++ {
+		off[s] = int64(len(succ))
+		d := rng.Intn(2 * degree)
+		for k := 0; k < d; k++ {
+			succ = append(succ, int32(rng.Intn(states)))
+		}
+	}
+	off[states] = int64(len(succ))
+	return off, succ
+}
+
+// naiveReverse is the obvious per-row-slice construction the counting sort
+// replaced.
+func naiveReverse(states int, off []int64, succ []int32) [][]int32 {
+	rev := make([][]int32, states)
+	for s := 0; s < states; s++ {
+		for _, t := range succ[off[s]:off[s+1]] {
+			if int(t) != s {
+				rev[t] = append(rev[t], int32(s))
+			}
+		}
+	}
+	return rev
+}
+
+func TestReverseCSRMatchesNaive(t *testing.T) {
+	for _, states := range []int{1, 7, 300, 5000} {
+		off, succ := randomCSR(states, 4, int64(states))
+		want := naiveReverse(states, off, succ)
+		for _, workers := range []int{1, 4} {
+			r := ReverseCSR(states, off, succ, workers)
+			for s := 0; s < states; s++ {
+				got := r.Preds(int32(s))
+				if len(got) != len(want[s]) {
+					t.Fatalf("states=%d workers=%d: preds(%d) has %d entries, want %d",
+						states, workers, s, len(got), len(want[s]))
+				}
+				for i := range got {
+					if got[i] != want[s][i] {
+						t.Fatalf("states=%d workers=%d: preds(%d)[%d] = %d, want %d",
+							states, workers, s, i, got[i], want[s][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReverseCSRParallelForced drops the serial-path shortcut threshold by
+// using an edge count above serialReverseLimit, so the counting-sort
+// worker path runs even on small machines.
+func TestReverseCSRParallelForced(t *testing.T) {
+	states := 20000
+	off, succ := randomCSR(states, 4, 42)
+	if int64(len(succ)) < serialReverseLimit {
+		t.Fatalf("test graph too small to force the parallel path: %d edges", len(succ))
+	}
+	serial := ReverseCSR(states, off, succ, 1)
+	parallel := ReverseCSR(states, off, succ, 8)
+	if len(serial.Src) != len(parallel.Src) {
+		t.Fatalf("edge counts differ: %d vs %d", len(serial.Src), len(parallel.Src))
+	}
+	for i := range serial.Src {
+		if serial.Src[i] != parallel.Src[i] {
+			t.Fatalf("Src[%d] = %d (serial) vs %d (parallel)", i, serial.Src[i], parallel.Src[i])
+		}
+	}
+	for i := range serial.Off {
+		if serial.Off[i] != parallel.Off[i] {
+			t.Fatalf("Off[%d] = %d (serial) vs %d (parallel)", i, serial.Off[i], parallel.Off[i])
+		}
+	}
+}
+
+// naiveBackwardDist is a reference BFS over the naive reverse adjacency.
+func naiveBackwardDist(states int, off []int64, succ []int32, seed, skipPred []bool) []int32 {
+	rev := naiveReverse(states, off, succ)
+	dist := make([]int32, states)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var frontier []int32
+	for s := 0; s < states; s++ {
+		if seed[s] {
+			dist[s] = 0
+			frontier = append(frontier, int32(s))
+		}
+	}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, s := range frontier {
+			for _, pre := range rev[s] {
+				if skipPred != nil && skipPred[pre] {
+					continue
+				}
+				if dist[pre] == -1 {
+					dist[pre] = dist[s] + 1
+					next = append(next, pre)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+func TestBackwardBFSMatchesNaive(t *testing.T) {
+	for _, states := range []int{1, 9, 400, 20000} {
+		off, succ := randomCSR(states, 3, int64(states)+1)
+		rng := rand.New(rand.NewSource(int64(states) + 2))
+		seed := make([]bool, states)
+		skip := make([]bool, states)
+		for s := 0; s < states; s++ {
+			seed[s] = rng.Intn(3) == 0 // large seed set => large frontiers
+			skip[s] = rng.Intn(5) == 0
+		}
+		if states == 1 {
+			seed[0] = true
+		}
+		r := ReverseCSR(states, off, succ, 2)
+		for _, skipPred := range [][]bool{nil, skip} {
+			want := naiveBackwardDist(states, off, succ, seed, skipPred)
+			for _, workers := range []int{1, 4} {
+				got := r.BackwardBFS(seed, skipPred, workers)
+				for s := range got {
+					if got[s] != want[s] {
+						t.Fatalf("states=%d workers=%d skip=%v: dist[%d] = %d, want %d",
+							states, workers, skipPred != nil, s, got[s], want[s])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package statespace
+
+// SCC computes the strongly connected components of the subgraph of the
+// forward CSR (off, succ) induced by the states with include[s] true
+// (pass nil to include every state), by an iterative Tarjan. It returns
+// per-state component ids (-1 for excluded states) and the component
+// count. Components come out in reverse topological order of the
+// condensation: every cross edge points from a higher id into a lower
+// one, so ascending id order is a valid dependency-first solve order.
+// Both the checker's fairness analyses (illegitimate subgraph) and the
+// Markov hitting-time solver (transient subgraph) condense through this
+// one implementation.
+func SCC(states int, off []int64, succ []int32, include []bool) ([]int32, int) {
+	const none = int32(-1)
+	comp := make([]int32, states)
+	index := make([]int32, states)
+	low := make([]int32, states)
+	onStack := make([]bool, states)
+	for i := range comp {
+		comp[i], index[i] = none, none
+	}
+	var (
+		counter int32
+		nextCmp int32
+		tstack  []int32
+	)
+	type frame struct {
+		v    int32
+		next int
+	}
+	var stack []frame
+	for root := 0; root < states; root++ {
+		if (include != nil && !include[root]) || index[root] != none {
+			continue
+		}
+		stack = append(stack[:0], frame{v: int32(root)})
+		index[root], low[root] = counter, counter
+		counter++
+		tstack = append(tstack, int32(root))
+		onStack[root] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succs := succ[off[f.v]:off[f.v+1]]
+			recursed := false
+			for f.next < len(succs) {
+				w := succs[f.next]
+				f.next++
+				if include != nil && !include[w] {
+					continue
+				}
+				if index[w] == none {
+					index[w], low[w] = counter, counter
+					counter++
+					tstack = append(tstack, w)
+					onStack[w] = true
+					stack = append(stack, frame{v: w})
+					recursed = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if recursed {
+				continue
+			}
+			if f.next >= len(succs) {
+				v := f.v
+				if low[v] == index[v] {
+					for {
+						w := tstack[len(tstack)-1]
+						tstack = tstack[:len(tstack)-1]
+						onStack[w] = false
+						comp[w] = nextCmp
+						if w == v {
+							break
+						}
+					}
+					nextCmp++
+				}
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					p := stack[len(stack)-1].v
+					if low[v] < low[p] {
+						low[p] = low[v]
+					}
+				}
+			}
+		}
+	}
+	return comp, int(nextCmp)
+}

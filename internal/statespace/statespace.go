@@ -24,7 +24,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
@@ -34,6 +33,13 @@ import (
 // zero. It matches the historical checker default so that capped analyses
 // fail on the same instances they always failed on.
 const DefaultMaxStates = 1 << 21
+
+// IndexLimit is the largest configuration space the engine can represent
+// at all: state indexes are int32. Analyses that no longer have a
+// solver-imposed ceiling (the sparse hitting-time solver scales past 10^6
+// transient states) pass this as MaxStates to explore everything the
+// index width allows.
+const IndexLimit = math.MaxInt32
 
 // Options tunes Build.
 type Options struct {
@@ -56,10 +62,16 @@ type Space struct {
 	Enc    *protocol.Encoder
 	States int
 	Legit  []bool // Legit[s]: configuration s is legitimate
+	// Workers is the resolved exploration worker-pool size, reused as the
+	// default pool size of the analyses run over this space.
+	Workers int
 
 	off  []int64   // row offsets, len States+1
 	succ []int32   // successor state indexes, sorted per row
 	prob []float64 // transition probabilities aligned with succ
+
+	revOnce sync.Once
+	rev     Reverse
 }
 
 // Succ returns the deduplicated successor state indexes of s, sorted
@@ -80,6 +92,23 @@ func (sp *Space) IsTerminal(s int) bool { return sp.off[s] == sp.off[s+1] }
 
 // Edges returns the total number of stored transitions.
 func (sp *Space) Edges() int64 { return int64(len(sp.succ)) }
+
+// CSR exposes the raw forward CSR triple (row offsets, successors,
+// transition probabilities) so analysis layers can alias the explored
+// space without copying. Callers must not modify the slices.
+func (sp *Space) CSR() (off []int64, succ []int32, prob []float64) {
+	return sp.off, sp.succ, sp.prob
+}
+
+// Reverse returns the predecessor view of the space, built on first use
+// and cached, so the checker's reachability passes and the Markov analyses
+// of the same space share one reverse CSR.
+func (sp *Space) Reverse() Reverse {
+	sp.revOnce.Do(func() {
+		sp.rev = ReverseCSR(sp.States, sp.off, sp.succ, sp.Workers)
+	})
+	return sp.rev
+}
 
 // Config decodes state index s into a fresh configuration.
 func (sp *Space) Config(s int) protocol.Configuration {
@@ -131,11 +160,12 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 		workers = total
 	}
 	sp := &Space{
-		Alg:    a,
-		Pol:    pol,
-		Enc:    enc,
-		States: total,
-		Legit:  make([]bool, total),
+		Alg:     a,
+		Pol:     pol,
+		Enc:     enc,
+		States:  total,
+		Legit:   make([]bool, total),
+		Workers: workers,
 	}
 	// Small chunks keep workers balanced (states differ wildly in enabled
 	// count); capped chunk count bounds stitching overhead.
@@ -147,56 +177,25 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 	chunks := make([]chunk, numChunks)
 
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool // other workers stop claiming chunks once set
-		wg       sync.WaitGroup
-		failMu   sync.Mutex
-		panicked any
-		failErr  error
+		pool    = sync.Pool{New: func() any { return newExplorer(sp) }}
+		failMu  sync.Mutex
+		failErr error
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					failed.Store(true)
-					failMu.Lock()
-					if panicked == nil {
-						panicked = r
-					}
-					failMu.Unlock()
-				}
-			}()
-			ex := newExplorer(sp)
-			for !failed.Load() {
-				c := int(next.Add(1)) - 1
-				if c >= numChunks {
-					return
-				}
-				lo := c * chunkSize
-				hi := lo + chunkSize
-				if hi > total {
-					hi = total
-				}
-				ck, err := ex.exploreRange(lo, hi)
-				if err != nil {
-					failed.Store(true)
-					failMu.Lock()
-					if failErr == nil {
-						failErr = err
-					}
-					failMu.Unlock()
-					return
-				}
-				chunks[c] = ck
+	ForRanges(total, workers, chunkSize, func(lo, hi int) bool {
+		ex := pool.Get().(*explorer)
+		ck, err := ex.exploreRange(lo, hi)
+		pool.Put(ex)
+		if err != nil {
+			failMu.Lock()
+			if failErr == nil {
+				failErr = err
 			}
-		}()
-	}
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
-	}
+			failMu.Unlock()
+			return false
+		}
+		chunks[lo/chunkSize] = ck
+		return true
+	})
 	if failErr != nil {
 		return nil, failErr
 	}
@@ -280,10 +279,18 @@ func (ex *explorer) subsetMasks() []uint64 {
 	return scheduler.PolicyMasks(ex.sp.Pol, ex.enabled)
 }
 
-// exploreRange explores states [lo, hi) into a fresh CSR fragment.
+// exploreRange explores states [lo, hi) into a fresh CSR fragment. The
+// range's configurations are decoded once at lo and then advanced by
+// odometer increments, so the mixed-radix divisions of Decode are paid
+// once per range instead of once per state.
 func (ex *explorer) exploreRange(lo, hi int) (chunk, error) {
 	ck := chunk{deg: make([]int32, hi-lo)}
 	for s := lo; s < hi; s++ {
+		if s == lo {
+			ex.cfg = ex.sp.Enc.Decode(int64(s), ex.cfg)
+		} else {
+			ex.sp.Enc.DecodeNext(ex.cfg)
+		}
 		before := len(ck.succ)
 		var err error
 		ck.succ, ck.prob, err = ex.exploreState(s, ck.succ, ck.prob)
@@ -295,13 +302,13 @@ func (ex *explorer) exploreRange(lo, hi int) (chunk, error) {
 	return ck, nil
 }
 
-// exploreState computes the merged successor row of state s and appends it
-// to succ/prob, which are returned regrown. Outcome states are validated
-// against the process domains so a misbehaving Algorithm yields a clean
-// error instead of an aliased state index.
+// exploreState computes the merged successor row of state s — whose
+// configuration the caller has already decoded into ex.cfg — and appends
+// it to succ/prob, which are returned regrown. Outcome states are
+// validated against the process domains so a misbehaving Algorithm yields
+// a clean error instead of an aliased state index.
 func (ex *explorer) exploreState(s int, succ []int32, prob []float64) ([]int32, []float64, error) {
 	sp := ex.sp
-	ex.cfg = sp.Enc.Decode(int64(s), ex.cfg)
 	sp.Legit[s] = sp.Alg.Legitimate(ex.cfg)
 
 	// Enabled processes and their outcome distributions, computed once per

@@ -11,7 +11,23 @@ import (
 	"weakstab/internal/markov"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
+
+// mustMarkov explores a under pol once and returns the chain aliasing the
+// space, the space's legitimate-target vector, and the encoder.
+func mustMarkov(t *testing.T, a protocol.Algorithm, pol scheduler.Policy) (*markov.Chain, []bool, *protocol.Encoder) {
+	t.Helper()
+	ts, err := statespace.Build(a, pol, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := markov.FromSpace(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chain, markov.TargetFromSpace(ts), ts.Enc
+}
 
 func mustSyncpair(t *testing.T) *syncpair.Algorithm {
 	t.Helper()
@@ -118,11 +134,7 @@ func TestTheorem8SynchronousProbabilisticConvergence(t *testing.T) {
 	// probability 1 under the synchronous scheduler, although the
 	// untransformed algorithm livelocks.
 	inner := mustLeaderChain(t, 4)
-	raw, encRaw, err := markov.FromAlgorithm(inner, scheduler.SynchronousPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rawTarget := markov.LegitimateTarget(inner, encRaw)
+	raw, rawTarget, _ := mustMarkov(t, inner, scheduler.SynchronousPolicy{})
 	rawOne := raw.ReachesWithProbOne(rawTarget)
 	allOne := true
 	for _, b := range rawOne {
@@ -133,11 +145,7 @@ func TestTheorem8SynchronousProbabilisticConvergence(t *testing.T) {
 	}
 
 	trans := New(inner)
-	chain, enc, err := markov.FromAlgorithm(trans, scheduler.SynchronousPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := markov.LegitimateTarget(trans, enc)
+	chain, target, enc := mustMarkov(t, trans, scheduler.SynchronousPolicy{})
 	one := chain.ReachesWithProbOne(target)
 	for s, ok := range one {
 		if !ok {
@@ -154,11 +162,7 @@ func TestTheorem9DistributedRandomizedConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	trans := New(inner)
-	chain, enc, err := markov.FromAlgorithm(trans, scheduler.DistributedPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := markov.LegitimateTarget(trans, enc)
+	chain, target, enc := mustMarkov(t, trans, scheduler.DistributedPolicy{})
 	for s, ok := range chain.ReachesWithProbOne(target) {
 		if !ok {
 			t.Fatalf("transformed token ring fails prob-1 convergence from %v", enc.Decode(int64(s), nil))
@@ -170,11 +174,7 @@ func TestTransformedSyncpairExactHittingTimes(t *testing.T) {
 	// Hand-computed: under the synchronous scheduler with p = 1/2,
 	// h(F,F) = 8 and h(T,F) = h(F,T) = 10.
 	trans := New(mustSyncpair(t))
-	chain, enc, err := markov.FromAlgorithm(trans, scheduler.SynchronousPolicy{}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := markov.LegitimateTarget(trans, enc)
+	chain, target, enc := mustMarkov(t, trans, scheduler.SynchronousPolicy{})
 	h, err := chain.HittingTimes(target)
 	if err != nil {
 		t.Fatal(err)
@@ -201,11 +201,7 @@ func TestCoinBiasMonotonicity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		chain, enc, err := markov.FromAlgorithm(trans, scheduler.SynchronousPolicy{}, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		target := markov.LegitimateTarget(trans, enc)
+		chain, target, enc := mustMarkov(t, trans, scheduler.SynchronousPolicy{})
 		h, err := chain.HittingTimes(target)
 		if err != nil {
 			t.Fatal(err)
@@ -230,22 +226,14 @@ func TestBisimulationExplicitVsProjected(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			proj := New(tc.inner)
-			projChain, projEnc, err := markov.FromAlgorithm(proj, scheduler.SynchronousPolicy{}, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			projTarget := markov.LegitimateTarget(proj, projEnc)
+			projChain, projTarget, projEnc := mustMarkov(t, proj, scheduler.SynchronousPolicy{})
 			hProj, err := projChain.HittingTimes(projTarget)
 			if err != nil {
 				t.Fatal(err)
 			}
 
 			expl := NewExplicit(tc.inner)
-			explChain, explEnc, err := markov.FromAlgorithm(expl, scheduler.SynchronousPolicy{}, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			explTarget := markov.LegitimateTarget(expl, explEnc)
+			explChain, explTarget, explEnc := mustMarkov(t, expl, scheduler.SynchronousPolicy{})
 			hExpl, err := explChain.HittingTimes(explTarget)
 			if err != nil {
 				t.Fatal(err)
