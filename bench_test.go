@@ -59,6 +59,7 @@ func BenchmarkE14RoundComplexity(b *testing.B)            { benchExperiment(b, "
 func BenchmarkE15SchedulerSpectrum(b *testing.B)          { benchExperiment(b, "E15") }
 func BenchmarkE16CenterElection(b *testing.B)             { benchExperiment(b, "E16") }
 func BenchmarkE17HittingTimeTails(b *testing.B)           { benchExperiment(b, "E17") }
+func BenchmarkE18FrontierFaultBalls(b *testing.B)         { benchExperiment(b, "E18") }
 
 // BenchmarkStepThroughput measures raw guarded-action step execution on a
 // 64-process token ring under the distributed randomized scheduler.
@@ -361,6 +362,79 @@ func BenchmarkExploreTokenring1Worker(b *testing.B) {
 
 func BenchmarkExploreTokenringAllWorkers(b *testing.B) {
 	benchSpace(b, tokenring6, scheduler.DistributedPolicy{}, 0)
+}
+
+// --- Frontier-exploration throughput ---------------------------------------
+//
+// The BenchmarkExploreFrontier* family demonstrates the asymptotic win of
+// reachable-only exploration: on the 14-process token ring (3^14 ≈ 4.8×10^6
+// configurations, central policy) the distance-≤k fault ball's forward
+// closure is a vanishing fraction of the space (k=1: 0.08%, k=2: 1.6%), so
+// frontier exploration scales with the ball while the full build pays for
+// every configuration. Each ball benchmark includes the O(total) legitimacy
+// scan that seeds the ball — the honest end-to-end cost of
+// `stabcheck -reachable -kfaults k`. The explored state count is reported
+// as a metric.
+
+// benchFrontierBall enumerates the distance-≤k ball of a and explores its
+// closure.
+func benchFrontierBall(b *testing.B, build func() (protocol.Algorithm, error), pol scheduler.Policy, k int) {
+	b.Helper()
+	alg, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		globals, _, err := checker.FaultBall(alg, k, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := statespace.BuildFrom(alg, pol, globals, statespace.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = ss.NumStates()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(states), "states-explored")
+}
+
+func tokenring14() (protocol.Algorithm, error) { return tokenring.New(14) }
+
+func BenchmarkExploreFrontierBallK0(b *testing.B) {
+	benchFrontierBall(b, tokenring14, scheduler.CentralPolicy{}, 0)
+}
+
+func BenchmarkExploreFrontierBallK1(b *testing.B) {
+	benchFrontierBall(b, tokenring14, scheduler.CentralPolicy{}, 1)
+}
+
+func BenchmarkExploreFrontierBallK2(b *testing.B) {
+	benchFrontierBall(b, tokenring14, scheduler.CentralPolicy{}, 2)
+}
+
+// BenchmarkExploreFrontierFullSpace is the comparison point: the classic
+// full-range build of the same 4.8M-state instance.
+func BenchmarkExploreFrontierFullSpace(b *testing.B) {
+	alg, err := tokenring14()
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := statespace.Build(alg, scheduler.CentralPolicy{}, statespace.Options{MaxStates: statespace.IndexLimit})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = sp.States
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(states), "states-explored")
 }
 
 // BenchmarkAnalyzeSharedSpace measures the full core pipeline over the

@@ -5,7 +5,23 @@
 // (self / probabilistic / weak / none).
 //
 // The configuration space is explored exactly once — in parallel, on
-// -workers workers — and shared by every analysis the flags request.
+// -workers workers — and shared by every analysis the flags request. Two
+// exploration modes exist:
+//
+//   - default: the full mixed-radix index range (every configuration);
+//   - -reachable: a frontier BFS from a seed set (-from, or the
+//     legitimate set when -from is omitted) discovers only the reachable
+//     subspace, so the cost scales with the forward closure of the seeds
+//     instead of the whole space. Properties then quantify over the
+//     explored states.
+//
+// The -kfaults verdicts themselves always pay for the fault ball, not the
+// space: the distance-≤k ball is enumerated directly (no transition
+// exploration) and only its forward closure is frontier-explored; the
+// verdicts are bit-identical to the full-space ones. Note that without
+// -reachable the main classification report still builds the full space —
+// combine `-reachable -kfaults k` for an end-to-end ball-sized run (the
+// report then quantifies over the ball's closure).
 //
 // Examples:
 //
@@ -13,17 +29,23 @@
 //	stabcheck -alg leadertree -n 4 -topology chain -policy synchronous
 //	stabcheck -alg leadertree -n 4 -transform -policy synchronous
 //	stabcheck -alg dijkstra -n 4 -k 4 -policy distributed
+//	stabcheck -alg tokenring -n 14 -reachable -kfaults 2   # ball-sized, end to end
+//	stabcheck -alg tokenring -n 10 -reachable              # closure of L
+//	stabcheck -alg tokenring -n 6 -reachable -from 1,0,2,1,0,3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"weakstab/internal/checker"
 	"weakstab/internal/cli"
 	"weakstab/internal/core"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
 	"weakstab/internal/statespace"
 )
 
@@ -38,8 +60,10 @@ func main() {
 		policy    = flag.String("policy", "central", "scheduler policy: central, distributed, synchronous")
 		seed      = flag.Int64("seed", 1, "seed for random topologies")
 		witness   = flag.Bool("witness", false, "print a worst-case convergence witness path")
-		kfaults   = flag.Int("kfaults", -1, "also analyze convergence within k corrupted processes (k-stabilization lens)")
+		kfaults   = flag.Int("kfaults", -1, "also analyze convergence within k corrupted processes (k-stabilization lens; explores only the fault ball)")
 		lasso     = flag.Bool("lasso", false, "print the strongly fair diverging lasso and its Gouda-fairness verdict")
+		reachable = flag.Bool("reachable", false, "explore only the subspace reachable from the seed set (-from, default: the legitimate set) instead of the full index range")
+		from      = flag.String("from", "", "seed configurations for -reachable: comma-separated process states, ';' between configurations (e.g. 1,0,2;0,0,0)")
 		maxStates = flag.Int64("max-states", 0, "state space cap (0 = default)")
 		workers   = flag.Int("workers", 0, "exploration worker-pool size (0 = all CPUs)")
 	)
@@ -55,7 +79,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: *maxStates, Workers: *workers})
+	opt := statespace.Options{MaxStates: *maxStates, Workers: *workers}
+
+	var ts statespace.TransitionSystem
+	if *reachable {
+		ts, err = exploreReachable(a, pol, *from, *kfaults, opt)
+	} else {
+		ts, err = statespace.Build(a, pol, opt)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -75,11 +106,17 @@ func main() {
 		printWitness(sp)
 	}
 	if *kfaults >= 0 {
-		dist := sp.DistanceToLegitimate()
-		for k := 0; k <= *kfaults; k++ {
-			v := sp.CheckKFaults(k, dist)
+		verdicts, ballSp, err := checker.BallVerdicts(a, pol, *kfaults, opt)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range verdicts {
 			fmt.Printf("  k=%d faults: %d configurations, possible=%v certain=%v\n",
-				k, v.Configs, v.Possible, v.Certain)
+				v.K, v.Configs, v.Possible, v.Certain)
+		}
+		if ballSp != nil {
+			fmt.Printf("  (ball closure: %d of %d configurations explored)\n",
+				ballSp.NumStates(), ballSp.TotalConfigs())
 		}
 	}
 	if *lasso {
@@ -93,11 +130,59 @@ func main() {
 	}
 }
 
+// exploreReachable frontier-explores the forward closure of the -from
+// seeds. Without -from, the seed set is the distance-≤k fault ball when
+// -kfaults is given (so `-reachable -kfaults k` is a pure ball-sized
+// analysis end to end) and the legitimate set otherwise (the closure of
+// L — the region every closed stabilizing execution lives in).
+func exploreReachable(a protocol.Algorithm, pol scheduler.Policy, from string, kfaults int, opt statespace.Options) (statespace.TransitionSystem, error) {
+	if from == "" {
+		k := 0
+		if kfaults > 0 {
+			k = kfaults
+		}
+		seeds, _, err := checker.FaultBall(a, k, opt.Workers, opt.MaxStates)
+		if err != nil {
+			return nil, err
+		}
+		if len(seeds) == 0 {
+			return nil, fmt.Errorf("the legitimate set is empty; give explicit seeds with -from")
+		}
+		return statespace.BuildFrom(a, pol, seeds, opt)
+	}
+	cfgs, err := parseSeeds(from, a.Graph().N())
+	if err != nil {
+		return nil, err
+	}
+	return statespace.BuildFromConfigs(a, pol, cfgs, opt)
+}
+
+// parseSeeds parses "1,0,2;0,0,0" into configurations of n states.
+func parseSeeds(s string, n int) ([]protocol.Configuration, error) {
+	var out []protocol.Configuration
+	for _, part := range strings.Split(s, ";") {
+		fields := strings.Split(strings.TrimSpace(part), ",")
+		if len(fields) != n {
+			return nil, fmt.Errorf("seed %q has %d states, want %d", part, len(fields), n)
+		}
+		cfg := make(protocol.Configuration, n)
+		for i, f := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("seed %q: %w", part, err)
+			}
+			cfg[i] = v
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
 // printWitness prints the shortest convergence path from the configuration
 // farthest from L (or reports the first configuration with none).
 func printWitness(sp *checker.Space) {
 	worst, worstLen := -1, 0
-	for s := 0; s < sp.States; s++ {
+	for s := 0; s < sp.NumStates(); s++ {
 		path := sp.WitnessPath(sp.Config(s))
 		if path == nil {
 			fmt.Printf("  no convergence path from %v\n", sp.Config(s))

@@ -13,6 +13,12 @@
 //     configurations that activates every process it ever enables — an
 //     infinite strongly fair execution that never converges.
 //
+// Every check is subspace-native: the checker runs over any
+// statespace.TransitionSystem, so the same passes decide the properties of
+// a full index-range Space and of a frontier-explored SubSpace (where the
+// properties quantify over the reachable states only — sound for any
+// forward-closed region, e.g. the k-fault ball's closure).
+//
 // Verdicts carry machine-checkable witnesses (paths and lassos) that the
 // experiments and the stabcheck CLI print.
 package checker
@@ -27,12 +33,12 @@ import (
 )
 
 // Space is the checker's view of an explored transition system. It embeds
-// the shared statespace engine's result, consuming only the unweighted
-// successor rows; the same underlying space can simultaneously feed the
-// Markov analysis through its weighted view (markov.FromSpace), so the
-// configuration space is enumerated exactly once per analysis.
+// the shared statespace engine's analysis interface, consuming only the
+// unweighted successor rows; the same underlying system can simultaneously
+// feed the Markov analysis through its weighted view (markov.FromSpace),
+// so the configuration space is enumerated exactly once per analysis.
 type Space struct {
-	*statespace.Space
+	statespace.TransitionSystem
 }
 
 // Explore enumerates every configuration and its successors under every
@@ -52,8 +58,10 @@ func ExploreWith(a protocol.Algorithm, pol scheduler.Policy, maxStates int64, wo
 	return &Space{ts}, nil
 }
 
-// FromSpace wraps an already-built transition system in the checker view.
-func FromSpace(ts *statespace.Space) *Space { return &Space{ts} }
+// FromSpace wraps an already-built transition system — a full
+// statespace.Space or a frontier-explored statespace.SubSpace — in the
+// checker view.
+func FromSpace(ts statespace.TransitionSystem) *Space { return &Space{ts} }
 
 // ClosureResult reports on the strong closure property.
 type ClosureResult struct {
@@ -65,12 +73,13 @@ type ClosureResult struct {
 // CheckClosure verifies strong closure: every successor of a legitimate
 // state is legitimate.
 func (sp *Space) CheckClosure() ClosureResult {
-	for s := 0; s < sp.States; s++ {
-		if !sp.Legit[s] {
+	legit := sp.LegitSet()
+	for s := range legit {
+		if !legit[s] {
 			continue
 		}
-		for _, t := range sp.Succ(int(s)) {
-			if !sp.Legit[t] {
+		for _, t := range sp.Succ(s) {
+			if !legit[t] {
 				return ClosureResult{From: sp.Config(s), To: sp.Config(int(t))}
 			}
 		}
@@ -93,8 +102,8 @@ type ConvergenceResult struct {
 // configuration (reverse reachability from L).
 func (sp *Space) CheckPossibleConvergence() ConvergenceResult {
 	canReach := sp.reverseReach()
-	for s := 0; s < sp.States; s++ {
-		if !canReach[s] {
+	for s, ok := range canReach {
+		if !ok {
 			return ConvergenceResult{
 				Counterexample: sp.Config(s),
 				Reason:         "no execution from this configuration reaches L",
@@ -105,11 +114,11 @@ func (sp *Space) CheckPossibleConvergence() ConvergenceResult {
 }
 
 // reverseReach returns, per state, whether L is reachable: a parallel
-// backward BFS from L over the space's cached reverse CSR (shared with
-// the Markov analyses of the same space).
+// backward BFS from L over the system's cached reverse CSR (shared with
+// the Markov analyses of the same system).
 func (sp *Space) reverseReach() []bool {
-	dist := sp.Reverse().BackwardBFS(sp.Legit, nil, sp.Workers)
-	out := make([]bool, sp.States)
+	dist := sp.Reverse().BackwardBFS(sp.LegitSet(), nil, sp.PoolWorkers())
+	out := make([]bool, sp.NumStates())
 	for s := range out {
 		out[s] = dist[s] >= 0
 	}
@@ -121,8 +130,9 @@ func (sp *Space) reverseReach() []bool {
 // terminal configuration (deadlock outside L) or on a cycle through
 // illegitimate configurations (a diverging execution).
 func (sp *Space) CheckCertainConvergence() ConvergenceResult {
-	for s := 0; s < sp.States; s++ {
-		if !sp.Legit[s] && sp.IsTerminal(s) {
+	legit := sp.LegitSet()
+	for s := range legit {
+		if !legit[s] && sp.IsTerminal(s) {
 			return ConvergenceResult{
 				Counterexample: sp.Config(s),
 				Reason:         "terminal configuration outside L",
@@ -147,8 +157,10 @@ func (sp *Space) findIllegitimateCycle() []int {
 		gray  = 1
 		black = 2
 	)
-	color := make([]byte, sp.States)
-	parent := make([]int32, sp.States)
+	legit := sp.LegitSet()
+	states := sp.NumStates()
+	color := make([]byte, states)
+	parent := make([]int32, states)
 	for i := range parent {
 		parent[i] = -1
 	}
@@ -156,8 +168,8 @@ func (sp *Space) findIllegitimateCycle() []int {
 		state int32
 		next  int
 	}
-	for root := 0; root < sp.States; root++ {
-		if sp.Legit[root] || color[root] != white {
+	for root := 0; root < states; root++ {
+		if legit[root] || color[root] != white {
 			continue
 		}
 		stack := []frame{{state: int32(root)}}
@@ -169,7 +181,7 @@ func (sp *Space) findIllegitimateCycle() []int {
 			for f.next < len(succs) {
 				t := succs[f.next]
 				f.next++
-				if sp.Legit[t] {
+				if legit[t] {
 					continue
 				}
 				switch color[t] {
@@ -235,7 +247,7 @@ func ClassifyWith(a protocol.Algorithm, pol scheduler.Policy, maxStates int64, w
 	return Verdict{
 		Algorithm: a.Name(),
 		Policy:    pol.Name(),
-		States:    sp.States,
+		States:    sp.NumStates(),
 		Closure:   sp.CheckClosure(),
 		Possible:  sp.CheckPossibleConvergence(),
 		Certain:   sp.CheckCertainConvergence(),
@@ -243,28 +255,32 @@ func ClassifyWith(a protocol.Algorithm, pol scheduler.Policy, maxStates int64, w
 }
 
 // WitnessPath returns a shortest execution (as configurations) from the
-// given configuration to a legitimate one, or nil if none exists. The
-// first element is the start configuration.
+// given configuration to a legitimate one, or nil if none exists (or, on a
+// subspace, if the configuration was not explored). The first element is
+// the start configuration.
 func (sp *Space) WitnessPath(from protocol.Configuration) []protocol.Configuration {
-	start := int32(sp.Enc.Encode(from))
-	if sp.Legit[start] {
+	start, ok := sp.StateOf(from)
+	if !ok {
+		return nil
+	}
+	legit := sp.LegitSet()
+	if legit[start] {
 		return []protocol.Configuration{from.Clone()}
 	}
-	parent := make([]int32, sp.States)
+	parent := make([]int32, sp.NumStates())
 	for i := range parent {
 		parent[i] = -2 // unvisited
 	}
 	parent[start] = -1
 	queue := []int32{start}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, t := range sp.Succ(int(s)) {
 			if parent[t] != -2 {
 				continue
 			}
 			parent[t] = s
-			if sp.Legit[t] {
+			if legit[t] {
 				var rev []int32
 				for cur := t; cur != -1; cur = parent[cur] {
 					rev = append(rev, cur)
@@ -287,14 +303,14 @@ func (sp *Space) WitnessPath(from protocol.Configuration) []protocol.Configurati
 // The distances come from the same parallel backward BFS over the cached
 // reverse CSR that decides possible convergence.
 func (sp *Space) MaxShortestConvergencePath() float64 {
-	dist := sp.Reverse().BackwardBFS(sp.Legit, nil, sp.Workers)
+	dist := sp.Reverse().BackwardBFS(sp.LegitSet(), nil, sp.PoolWorkers())
 	maxD := int32(0)
-	for s := 0; s < sp.States; s++ {
-		if dist[s] < 0 {
+	for _, d := range dist {
+		if d < 0 {
 			return math.Inf(1)
 		}
-		if dist[s] > maxD {
-			maxD = dist[s]
+		if d > maxD {
+			maxD = d
 		}
 	}
 	return float64(maxD)

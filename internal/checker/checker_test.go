@@ -257,11 +257,11 @@ func TestWitnessPath(t *testing.T) {
 	}
 	// Every hop must be a real step: successor reachable via some subset.
 	for i := 0; i+1 < len(path); i++ {
-		s := sp.Enc.Encode(path[i])
-		tIdx := sp.Enc.Encode(path[i+1])
+		s, _ := sp.StateOf(path[i])
+		tIdx, _ := sp.StateOf(path[i+1])
 		found := false
 		for _, succ := range sp.Succ(int(s)) {
-			if int64(succ) == tIdx {
+			if succ == tIdx {
 				found = true
 				break
 			}
@@ -371,10 +371,10 @@ func TestExploreTerminalStates(t *testing.T) {
 		t.Fatal(err)
 	}
 	terminals := 0
-	for s := 0; s < sp.States; s++ {
+	for s := 0; s < sp.NumStates(); s++ {
 		if sp.IsTerminal(s) {
 			terminals++
-			if !sp.Legit[s] {
+			if !sp.IsLegit(s) {
 				t.Fatalf("terminal state %v is illegitimate", sp.Config(s))
 			}
 		}

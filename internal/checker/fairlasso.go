@@ -34,17 +34,18 @@ type FairLasso struct {
 // found. Only deterministic algorithms are supported (the activation subset
 // of an edge must be recoverable).
 func (sp *Space) FindStronglyFairLasso() FairLasso {
-	det, ok := sp.Alg.(protocol.Deterministic)
+	det, ok := sp.Algorithm().(protocol.Deterministic)
 	if !ok {
 		return FairLasso{}
 	}
 	comp := sp.sccs()
+	legit := sp.LegitSet()
 	// Group states per component; iterate components in ascending id
 	// order so witnesses are deterministic across runs.
 	members := map[int32][]int32{}
 	var order []int32
 	for s, c := range comp {
-		if !sp.Legit[s] {
+		if !legit[s] {
 			if members[c] == nil {
 				order = append(order, c)
 			}
@@ -66,14 +67,17 @@ func (sp *Space) FindStronglyFairLasso() FairLasso {
 
 // sccs returns the component id of every state in the illegitimate
 // subgraph (legitimate states get -1), through the shared statespace
-// Tarjan.
+// Tarjan. On a frontier-explored SubSpace the condensation runs over the
+// reachable subgraph only — BuildFrom closes the successor relation before
+// sealing, so Tarjan sees every edge of the region it condenses.
 func (sp *Space) sccs() []int32 {
-	include := make([]bool, sp.States)
+	legit := sp.LegitSet()
+	include := make([]bool, sp.NumStates())
 	for s := range include {
-		include[s] = !sp.Legit[s]
+		include[s] = !legit[s]
 	}
 	off, succ, _ := sp.CSR()
-	comp, _ := statespace.SCC(sp.States, off, succ, include)
+	comp, _ := statespace.SCC(sp.NumStates(), off, succ, include)
 	return comp
 }
 
@@ -136,7 +140,7 @@ func (sp *Space) tryComponentWalk(det protocol.Deterministic, states []int32, co
 	for i := 0; i+1 < len(walk); i++ {
 		s, t := walk[i], walk[i+1]
 		cfg := sp.Config(int(s))
-		enabled := protocol.EnabledProcesses(sp.Alg, cfg)
+		enabled := protocol.EnabledProcesses(sp.Algorithm(), cfg)
 		chosen := sp.findSubset(det, cfg, enabled, t)
 		if chosen == nil {
 			return FairLasso{}
@@ -158,9 +162,8 @@ func (sp *Space) pathWithin(src, dst int32, inComp map[int32]bool) []int32 {
 	}
 	parent := map[int32]int32{src: -1}
 	queue := []int32{src}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, t := range sp.Succ(int(s)) {
 			if !inComp[t] {
 				continue
@@ -189,9 +192,9 @@ func (sp *Space) pathWithin(src, dst int32, inComp map[int32]bool) []int32 {
 // findSubset returns an activation subset of enabled that steps cfg to the
 // state index want, or nil.
 func (sp *Space) findSubset(det protocol.Deterministic, cfg protocol.Configuration, enabled []int, want int32) []int {
-	for _, sub := range sp.Pol.Subsets(enabled) {
+	for _, sub := range sp.Policy().Subsets(enabled) {
 		next := protocol.Step(det, cfg, sub, nil)
-		if int32(sp.Enc.Encode(next)) == want {
+		if got, ok := sp.StateOf(next); ok && got == want {
 			return sub
 		}
 	}

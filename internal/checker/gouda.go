@@ -26,18 +26,24 @@ func (sp *Space) GoudaFairLasso(cycle []protocol.Configuration) bool {
 		return true
 	}
 	// Steps taken within the lasso, per source state.
-	taken := map[int64]map[int64]bool{}
+	taken := map[int32]map[int32]bool{}
 	for i, cfg := range cycle {
-		s := sp.Enc.Encode(cfg)
-		t := sp.Enc.Encode(cycle[(i+1)%len(cycle)])
+		s, ok := sp.StateOf(cfg)
+		if !ok {
+			return false // outside the explored system: not a lasso of it
+		}
+		t, ok := sp.StateOf(cycle[(i+1)%len(cycle)])
+		if !ok {
+			return false
+		}
 		if taken[s] == nil {
-			taken[s] = map[int64]bool{}
+			taken[s] = map[int32]bool{}
 		}
 		taken[s][t] = true
 	}
 	for s, outs := range taken {
 		for _, succ := range sp.Succ(int(s)) {
-			if !outs[int64(succ)] {
+			if !outs[succ] {
 				return false
 			}
 		}
@@ -58,6 +64,7 @@ func (sp *Space) GoudaFairLasso(cycle []protocol.Configuration) bool {
 func (sp *Space) NoGoudaFairDivergence() (protocol.Configuration, bool) {
 	canReach := sp.reverseReach()
 	comp := sp.sccs()
+	legit := sp.LegitSet()
 	members := map[int32][]int32{}
 	for s, c := range comp {
 		if c >= 0 {
@@ -77,7 +84,7 @@ func (sp *Space) NoGoudaFairDivergence() (protocol.Configuration, bool) {
 				return sp.Config(int(s)), false
 			}
 			for _, t := range sp.Succ(int(s)) {
-				if sp.Legit[t] || comp[t] != cid {
+				if legit[t] || comp[t] != cid {
 					escapes = true
 					break
 				}

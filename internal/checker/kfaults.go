@@ -5,47 +5,71 @@ package checker
 // 2002): the number of faults needed to produce a configuration is the
 // number of process memories that must change to reach a legitimate
 // configuration. DistanceToLegitimate computes that Hamming-like distance
-// for every configuration; KFaultVerdict restricts the paper's convergence
-// properties to configurations reachable by at most k faults.
+// for every explored configuration; KFaultVerdict restricts the paper's
+// convergence properties to configurations reachable by at most k faults.
+//
+// Two exploration strategies feed the verdict. CheckKFaults classifies over
+// an already-built system (historically the full space). BallVerdicts is
+// the frontier path: it enumerates the distance-≤k ball directly (a BFS
+// over single-process mutations, no transition exploration), frontier-
+// explores only the ball's forward closure (statespace.BuildFrom), and
+// classifies over that subspace — bit-identical verdicts at the cost of
+// the ball's closure instead of the whole configuration space.
 
 import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+
 	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
 )
 
-// DistanceToLegitimate returns, for every configuration index, the minimum
-// number of process states that must change to obtain a legitimate
-// configuration (0 on L itself). It runs a multi-source BFS from L over
+// DistanceToLegitimate returns, for every explored configuration index,
+// the minimum number of process states that must change to obtain a
+// legitimate configuration (0 on L itself, -1 if unreachable by mutations
+// within the system). It runs a multi-source BFS from L over
 // single-process mutations, so the cost is O(states × Σ_p |domain_p|).
+// The queue is consumed by head index (popping via queue = queue[1:]
+// would re-grow the backing array on every append once len reaches cap)
+// and configurations are decoded into one reused buffer.
+//
+// On a SubSpace, mutations leaving the explored set are skipped: the
+// distance is then relative to the subspace (exact whenever the subspace
+// contains the full mutation ball, as BallVerdicts' does).
 func (sp *Space) DistanceToLegitimate() []int {
-	n := sp.Alg.Graph().N()
-	dist := make([]int, sp.States)
+	a := sp.Algorithm()
+	n := a.Graph().N()
+	states := sp.NumStates()
+	legit := sp.LegitSet()
+	dist := make([]int, states)
 	for i := range dist {
 		dist[i] = -1
 	}
-	var queue []int32
-	for s := 0; s < sp.States; s++ {
-		if sp.Legit[s] {
+	queue := make([]int32, 0, states)
+	for s := 0; s < states; s++ {
+		if legit[s] {
 			dist[s] = 0
 			queue = append(queue, int32(s))
 		}
 	}
-	cfg := make(protocol.Configuration, n)
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		cfg = sp.Enc.Decode(int64(s), cfg)
+	var cfg protocol.Configuration
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		cfg = sp.ConfigInto(int(s), cfg)
 		d := dist[s]
 		for p := 0; p < n; p++ {
 			orig := cfg[p]
-			for v := 0; v < sp.Alg.StateCount(p); v++ {
+			for v := 0; v < a.StateCount(p); v++ {
 				if v == orig {
 					continue
 				}
 				cfg[p] = v
-				t := sp.Enc.Encode(cfg)
-				if dist[t] == -1 {
+				if t, ok := sp.StateOf(cfg); ok && dist[t] == -1 {
 					dist[t] = d + 1
-					queue = append(queue, int32(t))
+					queue = append(queue, t)
 				}
 			}
 			cfg[p] = orig
@@ -78,10 +102,15 @@ func (sp *Space) CheckKFaults(k int, dist []int) KFaultVerdict {
 	if dist == nil {
 		dist = sp.DistanceToLegitimate()
 	}
+	return sp.checkKFaults(k, dist, sp.reverseReach(), sp.divergingStates())
+}
+
+// checkKFaults is the verdict scan over precomputed reachability and
+// divergence vectors, shared by CheckKFaults and BallVerdicts (which
+// evaluates many k values over one pair of vectors).
+func (sp *Space) checkKFaults(k int, dist []int, canReach, diverging []bool) KFaultVerdict {
 	v := KFaultVerdict{K: k, Possible: true, Certain: true}
-	canReach := sp.reverseReach()
-	diverging := sp.divergingStates()
-	for s := 0; s < sp.States; s++ {
+	for s := range dist {
 		if dist[s] < 0 || dist[s] > k {
 			continue
 		}
@@ -111,7 +140,8 @@ func (sp *Space) divergingStates() []bool {
 			members[c] = append(members[c], int32(s))
 		}
 	}
-	bad := make([]bool, sp.States)
+	legit := sp.LegitSet()
+	bad := make([]bool, sp.NumStates())
 	for _, states := range members {
 		if sp.componentHasCycle(states, comp) {
 			for _, s := range states {
@@ -119,16 +149,169 @@ func (sp *Space) divergingStates() []bool {
 			}
 		}
 	}
-	for s := 0; s < sp.States; s++ {
-		if !sp.Legit[s] && sp.IsTerminal(s) {
+	for s := range bad {
+		if !legit[s] && sp.IsTerminal(s) {
 			bad[s] = true
 		}
 	}
 	// Backward closure through illegitimate states: a BFS over the shared
 	// reverse CSR with legitimate states excluded from path interiors.
-	dist := sp.Reverse().BackwardBFS(bad, sp.Legit, sp.Workers)
+	dist := sp.Reverse().BackwardBFS(bad, legit, sp.PoolWorkers())
 	for s := range bad {
 		bad[s] = dist[s] >= 0
 	}
 	return bad
+}
+
+// FaultBall enumerates every configuration at fault distance at most k
+// from the legitimate set of a, without exploring any transition: a
+// parallel legitimacy scan of the index range seeds a BFS over
+// single-process mutations truncated at depth k. It returns the ball's
+// global configuration indexes in ascending order with the aligned exact
+// fault distances. Memory is proportional to the ball, not the range
+// (statespace.Dedup); time is O(range) for the scan plus O(ball × Σ_p
+// |domain_p|) for the BFS. maxStates caps the ball size (0 means
+// statespace.DefaultMaxStates), mirroring every other exploration path.
+func FaultBall(a protocol.Algorithm, k int, workers int, maxStates int64) ([]int64, []int, error) {
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checker: %w", err)
+	}
+	if maxStates <= 0 {
+		maxStates = statespace.DefaultMaxStates
+	}
+	n := a.Graph().N()
+	total := enc.Total()
+	if total > int64(math.MaxInt) {
+		return nil, nil, fmt.Errorf("checker: %d configurations exceed the platform index range", total)
+	}
+
+	// Parallel legitimacy scan: per-chunk odometer decode, chunks stitched
+	// in index order so the seed enumeration is deterministic and already
+	// ascending. The grain grows with the range so the chunk-header array
+	// stays bounded on huge index ranges.
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	grain := int64(1 << 12)
+	if c := total / int64(workers*8); c > grain {
+		grain = c
+	}
+	numChunks := (total + grain - 1) / grain
+	perChunk := make([][]int64, numChunks)
+	statespace.ForRanges(int(total), workers, int(grain), func(lo, hi int) bool {
+		var found []int64
+		cfg := make(protocol.Configuration, n)
+		for g := int64(lo); g < int64(hi); g++ {
+			if g == int64(lo) {
+				cfg = enc.Decode(g, cfg)
+			} else {
+				enc.DecodeNext(cfg)
+			}
+			if a.Legitimate(cfg) {
+				found = append(found, g)
+			}
+		}
+		perChunk[int64(lo)/grain] = found
+		return true
+	})
+
+	ball := statespace.NewDedup(total)
+	var dist []int
+	for _, found := range perChunk {
+		for _, g := range found {
+			ball.Add(g)
+			dist = append(dist, 0)
+		}
+	}
+	if int64(ball.Len()) > maxStates {
+		return nil, nil, fmt.Errorf("checker: legitimate set of %d configurations exceeds the %d-state cap", ball.Len(), maxStates)
+	}
+	// Mutation BFS: the dedup's global list doubles as the queue (ids are
+	// assigned in discovery = BFS order, so distances are exact).
+	cfg := make(protocol.Configuration, n)
+	for head := 0; head < ball.Len(); head++ {
+		if dist[head] == k {
+			continue
+		}
+		g := ball.Globals()[head]
+		cfg = enc.Decode(g, cfg)
+		for p := 0; p < n; p++ {
+			orig := cfg[p]
+			w := enc.Weight(p)
+			for v := 0; v < a.StateCount(p); v++ {
+				if v == orig {
+					continue
+				}
+				ng := g + int64(v-orig)*w
+				if ball.Lookup(ng) < 0 {
+					if int64(ball.Len()) >= maxStates {
+						return nil, nil, fmt.Errorf("checker: distance-%d fault ball exceeds the %d-state cap", k, maxStates)
+					}
+					ball.Add(ng)
+					dist = append(dist, dist[head]+1)
+				}
+			}
+		}
+	}
+	// Ascending-global order, matching the canonical local order of the
+	// subspace BuildFrom will carve from these seeds.
+	globals := ball.Globals()
+	order := make([]int, len(globals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return globals[order[i]] < globals[order[j]] })
+	outG := make([]int64, len(order))
+	outD := make([]int, len(order))
+	for i, o := range order {
+		outG[i] = globals[o]
+		outD[i] = dist[o]
+	}
+	return outG, outD, nil
+}
+
+// BallVerdicts classifies the k-fault convergence properties for every
+// k' in 0..k by frontier exploration: only the distance-≤k ball and its
+// forward closure are ever built, so the cost scales with the ball, not
+// the configuration space. The verdicts are bit-identical to running
+// CheckKFaults over the full space (the ball contains every configuration
+// at distance ≤ k by construction, and every execution from the ball stays
+// inside the explored closure). The subspace is returned for further
+// analysis (e.g. hitting times of the ball states).
+func BallVerdicts(a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) ([]KFaultVerdict, *Space, error) {
+	globals, ballDist, err := FaultBall(a, k, opt.Workers, opt.MaxStates)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(globals) == 0 {
+		// Empty legitimate set: every verdict is vacuous.
+		out := make([]KFaultVerdict, k+1)
+		for kk := range out {
+			out[kk] = KFaultVerdict{K: kk, Possible: true, Certain: true}
+		}
+		return out, nil, nil
+	}
+	ss, err := statespace.BuildFrom(a, pol, globals, opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checker: %w", err)
+	}
+	sp := FromSpace(ss)
+	// Per-local fault distances: ball members carry their exact distance,
+	// closure states discovered beyond the ball are marked -1 (they are
+	// not initial configurations of any k'-fault scenario, k' ≤ k).
+	dist := make([]int, ss.NumStates())
+	for i := range dist {
+		dist[i] = -1
+	}
+	for i, g := range globals {
+		dist[ss.LocalIndex(g)] = ballDist[i]
+	}
+	canReach := sp.reverseReach()
+	diverging := sp.divergingStates()
+	out := make([]KFaultVerdict, 0, k+1)
+	for kk := 0; kk <= k; kk++ {
+		out = append(out, sp.checkKFaults(kk, dist, canReach, diverging))
+	}
+	return out, sp, nil
 }

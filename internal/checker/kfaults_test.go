@@ -16,8 +16,8 @@ func TestDistanceToLegitimateTokenRing(t *testing.T) {
 	}
 	dist := sp.DistanceToLegitimate()
 	// Distance 0 exactly on L.
-	for s := 0; s < sp.States; s++ {
-		if (dist[s] == 0) != sp.Legit[s] {
+	for s := 0; s < sp.NumStates(); s++ {
+		if (dist[s] == 0) != sp.IsLegit(s) {
 			t.Fatalf("distance 0 mismatch at %v", sp.Config(s))
 		}
 		if dist[s] < 0 {
@@ -34,7 +34,8 @@ func TestDistanceToLegitimateTokenRing(t *testing.T) {
 	if a.Legitimate(corrupted) {
 		t.Skip("corruption landed in L; adjust test")
 	}
-	if d := dist[sp.Enc.Encode(corrupted)]; d != 1 {
+	corruptedIdx, _ := sp.StateOf(corrupted)
+	if d := dist[corruptedIdx]; d != 1 {
 		t.Fatalf("single-fault distance = %d, want 1", d)
 	}
 }
@@ -48,8 +49,8 @@ func TestDistanceTriangleUnderMutation(t *testing.T) {
 	}
 	dist := sp.DistanceToLegitimate()
 	cfg := make(protocol.Configuration, 4)
-	for s := 0; s < sp.States; s++ {
-		cfg = sp.Enc.Decode(int64(s), cfg)
+	for s := 0; s < sp.NumStates(); s++ {
+		cfg = sp.ConfigInto(s, cfg)
 		for p := 0; p < 4; p++ {
 			orig := cfg[p]
 			for v := 0; v < a.StateCount(p); v++ {
@@ -57,7 +58,8 @@ func TestDistanceTriangleUnderMutation(t *testing.T) {
 					continue
 				}
 				cfg[p] = v
-				d2 := dist[sp.Enc.Encode(cfg)]
+				mutIdx, _ := sp.StateOf(cfg)
+				d2 := dist[mutIdx]
 				if d2 < dist[s]-1 || d2 > dist[s]+1 {
 					t.Fatalf("mutation distance jump %d -> %d", dist[s], d2)
 				}
@@ -135,7 +137,7 @@ func TestKFaultsMonotoneInK(t *testing.T) {
 		prevCertain = v.Certain
 	}
 	full := sp.CheckKFaults(5, dist)
-	if full.Configs != sp.States {
-		t.Fatalf("k=N ball covers %d of %d states", full.Configs, sp.States)
+	if full.Configs != sp.NumStates() {
+		t.Fatalf("k=N ball covers %d of %d states", full.Configs, sp.NumStates())
 	}
 }

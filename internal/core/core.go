@@ -82,6 +82,13 @@ type Report struct {
 	// ConvergenceRadius is the maximum over configurations of the shortest
 	// convergence path length (+Inf when possible convergence fails).
 	ConvergenceRadius float64
+
+	// TotalConfigs is the size of the full configuration space the analyzed
+	// system lives in. Equal to States for a full-space analysis; for a
+	// frontier-explored subspace (AnalyzeFrom), States/TotalConfigs is the
+	// reachable fraction and every property above quantifies over the
+	// explored (reachable) states only.
+	TotalConfigs int64
 }
 
 // Options tunes Analyze.
@@ -110,10 +117,28 @@ func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Repo
 	return AnalyzeSpace(ts)
 }
 
+// AnalyzeFrom classifies the behavior of the algorithm on the subspace
+// reachable from the seed configurations: a frontier BFS
+// (statespace.BuildFrom) discovers only the forward closure of the seeds,
+// and every property of the report quantifies over those states. The cost
+// scales with the reachable region, not the configuration space — the
+// k-fault and unsupportive-environment analyses this enables explore balls
+// of thousands of states inside spaces of millions.
+func AnalyzeFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Configuration, opt Options) (*Report, error) {
+	ss, err := statespace.BuildFromConfigs(a, pol, seeds, statespace.Options{MaxStates: opt.MaxStates, Workers: opt.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("core: exploring %s from %d seeds: %w", a.Name(), len(seeds), err)
+	}
+	return AnalyzeSpace(ss)
+}
+
 // AnalyzeSpace runs the full classification over an already-explored
-// transition system (no further enumeration happens).
-func AnalyzeSpace(ts *statespace.Space) (*Report, error) {
-	a := ts.Alg
+// transition system — a full statespace.Space or a frontier-explored
+// statespace.SubSpace — without any further enumeration. Over a subspace,
+// every property is restricted to the explored (reachable) states; this is
+// sound because a subspace is closed under successors.
+func AnalyzeSpace(ts statespace.TransitionSystem) (*Report, error) {
+	a := ts.Algorithm()
 	sp := checker.FromSpace(ts)
 	closure := sp.CheckClosure()
 	possible := sp.CheckPossibleConvergence()
@@ -132,14 +157,15 @@ func AnalyzeSpace(ts *statespace.Space) (*Report, error) {
 	}
 	rep := &Report{
 		Algorithm:                a.Name(),
-		Policy:                   ts.Pol.Name(),
-		States:                   sp.States,
+		Policy:                   ts.Policy().Name(),
+		States:                   ts.NumStates(),
 		Closure:                  closure.Holds,
 		PossibleConvergence:      possible.Holds,
 		CertainConvergence:       certain.Holds,
 		ProbabilisticConvergence: allOne,
 		FairLassoFound:           lasso.Found,
 		ConvergenceRadius:        sp.MaxShortestConvergencePath(),
+		TotalConfigs:             ts.TotalConfigs(),
 	}
 	if allOne {
 		h, err := chain.HittingTimes(target)
@@ -207,6 +233,10 @@ func (r *Report) CheckHierarchy() error {
 func (r *Report) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s under %s scheduler (%d configurations)\n", r.Algorithm, r.Policy, r.States)
+	if r.TotalConfigs > int64(r.States) {
+		fmt.Fprintf(&sb, "  reachable subspace:        %d of %d configurations (%.3g%%); properties quantify over it\n",
+			r.States, r.TotalConfigs, 100*float64(r.States)/float64(r.TotalConfigs))
+	}
 	fmt.Fprintf(&sb, "  strong closure:            %v\n", r.Closure)
 	fmt.Fprintf(&sb, "  possible convergence:      %v\n", r.PossibleConvergence)
 	fmt.Fprintf(&sb, "  certain convergence:       %v\n", r.CertainConvergence)

@@ -87,7 +87,7 @@ func runE13(w io.Writer, opt Options) error {
 	for k := 0; k <= a.Graph().N(); k++ {
 		verdict := sp.CheckKFaults(k, dist)
 		var sample []float64
-		for s := 0; s < sp.States; s++ {
+		for s := 0; s < sp.NumStates(); s++ {
 			if dist[s] == k {
 				sample = append(sample, h[s])
 			}

@@ -153,8 +153,8 @@ func runE5(w io.Writer, opt Options) error {
 		}
 		v := checker.Verdict{
 			Algorithm: a.Name(),
-			Policy:    sp.Pol.Name(),
-			States:    sp.States,
+			Policy:    sp.Policy().Name(),
+			States:    sp.NumStates(),
 			Closure:   sp.CheckClosure(),
 			Possible:  sp.CheckPossibleConvergence(),
 			Certain:   sp.CheckCertainConvergence(),

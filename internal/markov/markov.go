@@ -54,10 +54,10 @@ type Chain struct {
 	succ []int32   // transition targets
 	prob []float64 // transition probabilities aligned with succ
 
-	sp      *statespace.Space // non-nil when aliasing an explored space
-	rows    [][]Trans         // builder rows, pending until the next seal
-	dirty   bool              // rows changed since the last seal
-	workers int               // analysis pool size override (0 = inherit)
+	sp      statespace.TransitionSystem // non-nil when aliasing an explored system
+	rows    [][]Trans                   // builder rows, pending until the next seal
+	dirty   bool                        // rows changed since the last seal
+	workers int                         // analysis pool size override (0 = inherit)
 
 	mu       sync.Mutex         // guards seal and the reverse cache
 	rev      statespace.Reverse // cached predecessor view (builder path)
@@ -82,8 +82,8 @@ func (c *Chain) analysisWorkers() int {
 	if c.workers > 0 {
 		return c.workers
 	}
-	if c.sp != nil && c.sp.Workers > 0 {
-		return c.sp.Workers
+	if c.sp != nil && c.sp.PoolWorkers() > 0 {
+		return c.sp.PoolWorkers()
 	}
 	return runtime.NumCPU()
 }
@@ -286,18 +286,20 @@ func FromAlgorithm(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) 
 }
 
 // FromSpace builds the chain over an already-explored transition system's
-// weighted view with zero copying: the chain aliases the space's CSR
+// weighted view with zero copying: the chain aliases the system's CSR
 // arrays directly, so constructing it allocates nothing per transition.
-// Terminal states stay absorbing (empty rows). Rows are validated
+// The system may be a full statespace.Space or a frontier-explored
+// statespace.SubSpace — the analyses run over whichever state indexing it
+// uses. Terminal states stay absorbing (empty rows). Rows are validated
 // (positive probabilities summing to 1) in parallel without materializing
 // anything.
-func FromSpace(sp *statespace.Space) (*Chain, error) {
+func FromSpace(sp statespace.TransitionSystem) (*Chain, error) {
 	off, succ, prob := sp.CSR()
 	var (
 		mu   sync.Mutex
 		vErr error
 	)
-	statespace.ForRanges(sp.States, sp.Workers, 1<<14, func(lo, hi int) bool {
+	statespace.ForRanges(sp.NumStates(), sp.PoolWorkers(), 1<<14, func(lo, hi int) bool {
 		for s := lo; s < hi; s++ {
 			a, b := off[s], off[s+1]
 			if a == b {
@@ -329,29 +331,12 @@ func FromSpace(sp *statespace.Space) (*Chain, error) {
 	if vErr != nil {
 		return nil, vErr
 	}
-	return &Chain{n: sp.States, off: off, succ: succ, prob: prob, sp: sp}, nil
+	return &Chain{n: sp.NumStates(), off: off, succ: succ, prob: prob, sp: sp}, nil
 }
 
 // TargetFromSpace returns the legitimate-set target vector of an explored
-// space (aliasing its legitimacy vector; callers must not modify it).
-func TargetFromSpace(sp *statespace.Space) []bool { return sp.Legit }
-
-// LegitimateTarget returns the boolean target vector of a's legitimate set
-// under the encoder by decoding every configuration.
-//
-// Deprecated: callers holding a statespace.Space already have this vector
-// (the engine records legitimacy during exploration); use TargetFromSpace
-// and skip the full decode loop.
-func LegitimateTarget(a protocol.Algorithm, enc *protocol.Encoder) []bool {
-	total := int(enc.Total())
-	out := make([]bool, total)
-	cfg := make(protocol.Configuration, a.Graph().N())
-	for s := 0; s < total; s++ {
-		cfg = enc.Decode(int64(s), cfg)
-		out[s] = a.Legitimate(cfg)
-	}
-	return out
-}
+// system (aliasing its legitimacy vector; callers must not modify it).
+func TargetFromSpace(sp statespace.TransitionSystem) []bool { return sp.LegitSet() }
 
 // Summary aggregates hitting times over the non-target states.
 type Summary struct {

@@ -242,13 +242,17 @@ func TestHermanExactExpectedTime(t *testing.T) {
 	}
 }
 
-func TestLegitimateTargetAndSummarize(t *testing.T) {
+func TestTargetFromSpaceAndSummarize(t *testing.T) {
 	a := mustSyncpair(t)
-	chain, enc, err := FromAlgorithm(a, scheduler.DistributedPolicy{}, 0)
+	ts, err := statespace.Build(a, scheduler.DistributedPolicy{}, statespace.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	target := LegitimateTarget(a, enc)
+	chain, err := FromSpace(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := TargetFromSpace(ts)
 	count := 0
 	for _, b := range target {
 		if b {

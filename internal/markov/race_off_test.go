@@ -1,0 +1,5 @@
+//go:build !race
+
+package markov
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package markov
+
+// raceEnabled flags -race runs: the detector's instrumentation inflates
+// allocation counts, so allocation-pinning tests skip themselves.
+const raceEnabled = true

@@ -50,6 +50,50 @@ const gsGrain = 1 << 11
 // sweeps is harmless and tracking deltas every sweep is not).
 const gsCheckEvery = 8
 
+// blockScratch is one worker's reusable block-solve buffers: the dense
+// elimination's augmented matrix and the Gauss–Seidel compaction arrays.
+// Buffers grow to the largest block a worker ever solves and are recycled
+// through blockScratchPool, so repeated HittingTimes calls over one space
+// (parameter sweeps like E12c's bias ablation) allocate no block buffers
+// in steady state.
+type blockScratch struct {
+	flat []float64   // dense: augmented matrix backing store
+	rows [][]float64 // dense: row pointers into flat
+	bOff []int64     // GS: in-block CSR offsets
+	bTo  []int32     // GS: in-block targets (local)
+	bP   []float64   // GS: in-block probabilities
+	ext  []float64   // GS: constant terms
+	diag []float64   // GS: diagonal 1 - P(s,s)
+	x    []float64   // GS: iterate
+	snap []float64   // GS: red-black color snapshot
+}
+
+var blockScratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
+
+// growF64 returns a len-n slice backed by buf when it has the capacity,
+// allocating otherwise. Contents are unspecified; callers overwrite or
+// zero as needed.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
 // HittingTimes returns the expected number of steps to first reach the
 // target set from every state (0 on the target itself, +Inf where the
 // target is not hit with probability 1), by SCC condensation of the
@@ -247,10 +291,20 @@ func (c *Chain) solveBlock(b int32, states []int32, local, comp []int32, h []flo
 
 // solveBlockDense eliminates one block directly: rows are (I-Q) restricted
 // to the block, the right-hand side folds in the solved mass leaving it.
+// Matrix storage comes from the per-worker scratch pool.
 func (c *Chain) solveBlockDense(b int32, states []int32, local, comp []int32, h []float64) error {
 	m := len(states)
-	flat := make([]float64, m*(m+1))
-	a := make([][]float64, m)
+	sc := blockScratchPool.Get().(*blockScratch)
+	defer blockScratchPool.Put(sc)
+	sc.flat = growF64(sc.flat, m*(m+1))
+	flat := sc.flat
+	for i := range flat {
+		flat[i] = 0
+	}
+	if cap(sc.rows) < m {
+		sc.rows = make([][]float64, m)
+	}
+	a := sc.rows[:m]
 	for i, sv := range states {
 		s := int(sv)
 		row := flat[i*(m+1) : (i+1)*(m+1)]
@@ -267,12 +321,14 @@ func (c *Chain) solveBlockDense(b int32, states []int32, local, comp []int32, h 
 		row[m] = rhs
 		a[i] = row
 	}
-	sol, err := gaussSolve(a)
-	if err != nil {
+	// gaussSolve back-substitutes into ext (reused as the solution buffer)
+	// instead of allocating.
+	sc.ext = growF64(sc.ext, m)
+	if err := gaussSolve(a, sc.ext); err != nil {
 		return err
 	}
 	for i, sv := range states {
-		h[sv] = sol[i]
+		h[sv] = sc.ext[i]
 	}
 	return nil
 }
@@ -285,11 +341,15 @@ func (c *Chain) solveBlockDense(b int32, states []int32, local, comp []int32, h 
 // pass confirms convergence.
 func (c *Chain) solveBlockGS(b int32, states []int32, local, comp []int32, h []float64, workers int) error {
 	m := len(states)
+	sc := blockScratchPool.Get().(*blockScratch)
+	defer blockScratchPool.Put(sc)
 	// Compact the block: in-block edges in local indexes plus, per state,
 	// the constant ext (1 + mass into solved states) and diagonal 1-P(s,s).
-	bOff := make([]int64, m+1)
-	ext := make([]float64, m)
-	diag := make([]float64, m)
+	sc.bOff = growI64(sc.bOff, m+1)
+	sc.ext = growF64(sc.ext, m)
+	sc.diag = growF64(sc.diag, m)
+	bOff, ext, diag := sc.bOff, sc.ext, sc.diag
+	bOff[0] = 0
 	nnz := int64(0)
 	for i, sv := range states {
 		s := int(sv)
@@ -312,8 +372,9 @@ func (c *Chain) solveBlockGS(b int32, states []int32, local, comp []int32, h []f
 		ext[i], diag[i] = e, d
 		bOff[i+1] = nnz
 	}
-	bTo := make([]int32, nnz)
-	bP := make([]float64, nnz)
+	sc.bTo = growI32(sc.bTo, int(nnz))
+	sc.bP = growF64(sc.bP, int(nnz))
+	bTo, bP := sc.bTo, sc.bP
 	at := int64(0)
 	for _, sv := range states {
 		s := int(sv)
@@ -327,7 +388,11 @@ func (c *Chain) solveBlockGS(b int32, states []int32, local, comp []int32, h []f
 		}
 	}
 
-	x := make([]float64, m)
+	sc.x = growF64(sc.x, m)
+	x := sc.x
+	for i := range x {
+		x[i] = 0
+	}
 	residual := func() (float64, float64) {
 		r, amax := 0.0, 0.0
 		for i := 0; i < m; i++ {
@@ -391,7 +456,8 @@ func (c *Chain) solveBlockGS(b int32, states []int32, local, comp []int32, h []f
 	// Large block: red-black scheme. The choice depends only on the block
 	// size — never on the worker count — so the iterates (and the result)
 	// are identical whether the sweeps run serially or on the pool.
-	snap := make([]float64, m)
+	sc.snap = growF64(sc.snap, m)
+	snap := sc.snap
 	half := (m + 1) / 2
 	par := workers > 1
 	// phase updates the color range [colorLo, colorHi): same-color
@@ -491,8 +557,10 @@ func (c *Chain) solveBlockGS(b int32, states []int32, local, comp []int32, h []f
 }
 
 // gaussSolve solves the augmented system [A | b] (m rows of m+1 columns)
-// in place by Gaussian elimination with partial pivoting.
-func gaussSolve(a [][]float64) ([]float64, error) {
+// in place by Gaussian elimination with partial pivoting, writing the
+// solution into sol (len m, caller-provided so block solves can reuse
+// scratch).
+func gaussSolve(a [][]float64, sol []float64) error {
 	m := len(a)
 	for col := 0; col < m; col++ {
 		pivot := col
@@ -503,7 +571,7 @@ func gaussSolve(a [][]float64) ([]float64, error) {
 			}
 		}
 		if best < 1e-14 {
-			return nil, fmt.Errorf("markov: singular hitting-time system at column %d", col)
+			return fmt.Errorf("markov: singular hitting-time system at column %d", col)
 		}
 		a[col], a[pivot] = a[pivot], a[col]
 		pr := a[col][col:]
@@ -519,7 +587,6 @@ func gaussSolve(a [][]float64) ([]float64, error) {
 			}
 		}
 	}
-	sol := make([]float64, m)
 	for i := m - 1; i >= 0; i-- {
 		v := a[i][m]
 		for k := i + 1; k < m; k++ {
@@ -527,7 +594,7 @@ func gaussSolve(a [][]float64) ([]float64, error) {
 		}
 		sol[i] = v / a[i][i]
 	}
-	return sol, nil
+	return nil
 }
 
 // hittingTimesDense is the pre-condensation whole-system dense solver,
@@ -573,8 +640,8 @@ func (c *Chain) hittingTimesDense(target []bool) ([]float64, error) {
 		}
 		a[i] = row
 	}
-	sol, err := gaussSolve(a)
-	if err != nil {
+	sol := make([]float64, m)
+	if err := gaussSolve(a, sol); err != nil {
 		return nil, err
 	}
 	for i, s := range transient {

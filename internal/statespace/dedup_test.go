@@ -1,0 +1,86 @@
+package statespace
+
+import (
+	"sync"
+	"testing"
+)
+
+// dedupTables returns both implementations: the dense visited array and
+// the sharded table (forced by a range just past the dense limit).
+func dedupTables() map[string]*Dedup {
+	return map[string]*Dedup{
+		"dense":   NewDedup(1 << 10),
+		"sharded": NewDedup(DenseDedupLimit + 1),
+	}
+}
+
+func TestDedupAddLookup(t *testing.T) {
+	for name, d := range dedupTables() {
+		globals := []int64{512, 0, 33, 512, 1023, 33, 7}
+		wantIDs := []int32{0, 1, 2, 0, 3, 2, 4}
+		for i, g := range globals {
+			if id := d.Add(g); id != wantIDs[i] {
+				t.Fatalf("%s: Add(%d) = %d, want %d", name, g, id, wantIDs[i])
+			}
+		}
+		if d.Len() != 5 {
+			t.Fatalf("%s: Len = %d, want 5", name, d.Len())
+		}
+		if got := d.Globals(); got[0] != 512 || got[4] != 7 {
+			t.Fatalf("%s: globals out of insertion order: %v", name, got)
+		}
+		if d.Lookup(99) != -1 {
+			t.Fatalf("%s: Lookup of absent global succeeded", name)
+		}
+		if d.Lookup(1023) != 3 {
+			t.Fatalf("%s: Lookup(1023) = %d, want 3", name, d.Lookup(1023))
+		}
+	}
+}
+
+func TestDedupRenumber(t *testing.T) {
+	for name, d := range dedupTables() {
+		for _, g := range []int64{512, 0, 33} {
+			d.Add(g)
+		}
+		// Renumber into ascending-global order: 0, 33, 512.
+		d.Renumber([]int32{1, 2, 0})
+		want := []int64{0, 33, 512}
+		for i, g := range want {
+			if d.Globals()[i] != g {
+				t.Fatalf("%s: Globals()[%d] = %d, want %d", name, i, d.Globals()[i], g)
+			}
+			if d.Lookup(g) != int32(i) {
+				t.Fatalf("%s: Lookup(%d) = %d, want %d", name, g, d.Lookup(g), i)
+			}
+		}
+	}
+}
+
+// TestDedupConcurrentLookup exercises the read-only phase contract: many
+// goroutines may Lookup while no Add runs (run with -race).
+func TestDedupConcurrentLookup(t *testing.T) {
+	for name, d := range dedupTables() {
+		for g := int64(0); g < 100; g++ {
+			d.Add(g * 7)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := int64(0); g < 700; g++ {
+					want := int32(-1)
+					if g%7 == 0 {
+						want = int32(g / 7)
+					}
+					if got := d.Lookup(g); got != want {
+						t.Errorf("%s: concurrent Lookup(%d) = %d, want %d", name, g, got, want)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,362 @@
+// The frontier engine: the package's second exploration mode. Where Build
+// sweeps the full mixed-radix index range, BuildFrom runs a parallel
+// multi-source BFS from a seed set and discovers only the states reachable
+// from it — so analyses over a bounded region (the k-fault ball of the
+// k-stabilization literature, the forward closure of L, a single suspect
+// configuration) pay for the region's closure, not for the whole space.
+// The result is a SubSpace: a weighted CSR over dense *local* indexes plus
+// a local↔global mapping (a sharded dedup table when the index range is
+// too large for a dense visited array).
+//
+// Determinism: exploration alternates a parallel expansion phase (workers
+// claim fixed-grain chunks of the current BFS level and compute successor
+// rows with global targets, resolving already-known targets against the
+// read-only dedup table) with a serial stitch phase that assigns local ids
+// to newly discovered states in chunk-and-row order. After the BFS
+// terminates, local ids are canonicalized to ascending-global order, so
+// the SubSpace — rows, probabilities, legitimacy, and every analysis run
+// over it — is a pure function of (algorithm, policy, seed set),
+// independent of worker count and discovery schedule. Because BFS closes
+// the successor relation before the space is sealed, downstream
+// condensations (Tarjan over the transient subgraph, the hitting-time
+// block solver) see exactly the closed reachable edge set.
+package statespace
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// SubSpace is a frontier-explored transition system: exactly the states
+// reachable from the seed set, indexed by dense local ids in ascending
+// order of their global (mixed-radix) indexes. It implements
+// TransitionSystem, so every analysis that runs over a Space runs over a
+// SubSpace unchanged — on local indexes.
+type SubSpace struct {
+	Alg protocol.Algorithm
+	Pol scheduler.Policy
+	Enc *protocol.Encoder
+	// States is the number of discovered states.
+	States int
+	// Legit[s]: local state s is legitimate.
+	Legit []bool
+	// Workers is the resolved exploration worker-pool size, reused as the
+	// default pool size of the analyses run over this subspace.
+	Workers int
+
+	table *Dedup // global -> local, aliases globalIdx through Globals()
+
+	off  []int64   // row offsets, len States+1
+	succ []int32   // successor local indexes, sorted ascending per row
+	prob []float64 // transition probabilities aligned with succ
+
+	revOnce sync.Once
+	rev     Reverse
+}
+
+// Succ returns the deduplicated successor local indexes of s, sorted
+// ascending. The slice aliases the subspace; callers must not modify it.
+func (ss *SubSpace) Succ(s int) []int32 { return ss.succ[ss.off[s]:ss.off[s+1]] }
+
+// Prob returns the transition probabilities aligned with Succ(s). The
+// slice aliases the subspace; callers must not modify it.
+func (ss *SubSpace) Prob(s int) []float64 { return ss.prob[ss.off[s]:ss.off[s+1]] }
+
+// Degree returns the number of distinct successors of s.
+func (ss *SubSpace) Degree(s int) int { return int(ss.off[s+1] - ss.off[s]) }
+
+// IsTerminal reports whether local state s has no successors.
+func (ss *SubSpace) IsTerminal(s int) bool { return ss.off[s] == ss.off[s+1] }
+
+// Edges returns the total number of stored transitions.
+func (ss *SubSpace) Edges() int64 { return int64(len(ss.succ)) }
+
+// CSR exposes the raw forward CSR triple (local indexes) without copying.
+// Callers must not modify the slices.
+func (ss *SubSpace) CSR() (off []int64, succ []int32, prob []float64) {
+	return ss.off, ss.succ, ss.prob
+}
+
+// Reverse returns the predecessor view of the subspace, built on first use
+// and cached. Note the view is subspace-relative: predecessors outside the
+// reachable set do not exist here — which is exactly what forward-looking
+// analyses (reachability of L, divergence, hitting times) of reachable
+// states need, since the subspace is closed under successors.
+func (ss *SubSpace) Reverse() Reverse {
+	ss.revOnce.Do(func() {
+		ss.rev = ReverseCSR(ss.States, ss.off, ss.succ, ss.Workers)
+	})
+	return ss.rev
+}
+
+// GlobalIndex returns the global (mixed-radix) index of local state s.
+func (ss *SubSpace) GlobalIndex(s int) int64 { return ss.table.Globals()[s] }
+
+// Globals returns the global indexes of all discovered states in local-id
+// (= ascending global) order. The slice aliases the subspace.
+func (ss *SubSpace) Globals() []int64 { return ss.table.Globals() }
+
+// LocalIndex returns the local id of the global index g, or -1 when g was
+// not discovered.
+func (ss *SubSpace) LocalIndex(g int64) int32 { return ss.table.Lookup(g) }
+
+// Config decodes local state s into a fresh configuration.
+func (ss *SubSpace) Config(s int) protocol.Configuration {
+	return ss.Enc.Decode(ss.GlobalIndex(s), nil)
+}
+
+// ConfigInto implements TransitionSystem.
+func (ss *SubSpace) ConfigInto(s int, dst protocol.Configuration) protocol.Configuration {
+	return ss.Enc.Decode(ss.GlobalIndex(s), dst)
+}
+
+// Algorithm implements TransitionSystem.
+func (ss *SubSpace) Algorithm() protocol.Algorithm { return ss.Alg }
+
+// Policy implements TransitionSystem.
+func (ss *SubSpace) Policy() scheduler.Policy { return ss.Pol }
+
+// NumStates implements TransitionSystem.
+func (ss *SubSpace) NumStates() int { return ss.States }
+
+// TotalConfigs implements TransitionSystem: the size of the full index
+// range the subspace was carved out of.
+func (ss *SubSpace) TotalConfigs() int64 { return ss.Enc.Total() }
+
+// IsLegit implements TransitionSystem.
+func (ss *SubSpace) IsLegit(s int) bool { return ss.Legit[s] }
+
+// LegitSet implements TransitionSystem.
+func (ss *SubSpace) LegitSet() []bool { return ss.Legit }
+
+// PoolWorkers implements TransitionSystem.
+func (ss *SubSpace) PoolWorkers() int { return ss.Workers }
+
+// StateOf implements TransitionSystem: ok is false when cfg was not
+// discovered by the frontier exploration.
+func (ss *SubSpace) StateOf(cfg protocol.Configuration) (int32, bool) {
+	l := ss.table.Lookup(ss.Enc.Encode(cfg))
+	return l, l >= 0
+}
+
+// frontierGrain is the chunk size workers claim from the current BFS
+// level. It is a constant — never derived from the worker count — so the
+// serial stitch order, and with it every assigned local id, is identical
+// for every pool size.
+const frontierGrain = 1 << 10
+
+// frontierChunk is one chunk's exploration output: per-state degrees and
+// legitimacy, and the concatenated successor rows with global targets.
+// local[i] caches the read-only dedup resolution of to[i] from the
+// parallel phase (-1 when the target was not yet discovered at phase
+// start; the serial stitch resolves or assigns those).
+type frontierChunk struct {
+	deg   []int32
+	legit []bool
+	to    []int64
+	local []int32
+	prob  []float64
+}
+
+// BuildFrom explores the forward closure of the seed set (global
+// configuration indexes under the canonical encoder of a, i.e.
+// protocol.NewEncoder(a, 0)) under pol with a parallel frontier BFS and
+// returns the discovered subspace. Duplicate seeds are deduplicated.
+// opt.MaxStates caps the number of *discovered* states (0 means
+// DefaultMaxStates) — unlike Build, the full index range may exceed the
+// int32 state-index limit, since only discovered states need local ids.
+// The result is deterministic and independent of opt.Workers.
+func BuildFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Options) (*SubSpace, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("statespace: BuildFrom needs at least one seed")
+	}
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		return nil, fmt.Errorf("statespace: %w", err)
+	}
+	maxStates := opt.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	if maxStates > math.MaxInt32 {
+		maxStates = math.MaxInt32
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	ss := &SubSpace{
+		Alg:     a,
+		Pol:     pol,
+		Enc:     enc,
+		Workers: workers,
+		table:   NewDedup(enc.Total()),
+		off:     []int64{0},
+	}
+	for _, g := range seeds {
+		if g < 0 || g >= enc.Total() {
+			return nil, fmt.Errorf("statespace: seed index %d outside configuration space [0,%d)", g, enc.Total())
+		}
+		ss.table.Add(g)
+	}
+	if int64(ss.table.Len()) > maxStates {
+		return nil, fmt.Errorf("statespace: %d seeds exceed the %d-state cap", ss.table.Len(), maxStates)
+	}
+
+	var (
+		pool    = sync.Pool{New: func() any { return newExplorer(a, pol, enc) }}
+		failMu  sync.Mutex
+		failErr error
+	)
+	var chunks []frontierChunk
+	for lo := 0; lo < ss.table.Len(); {
+		hi := ss.table.Len()
+		level := ss.table.Globals()[lo:hi] // expansion only reads, so no insert moves it
+		numChunks := (len(level) + frontierGrain - 1) / frontierGrain
+		if cap(chunks) < numChunks {
+			chunks = make([]frontierChunk, numChunks)
+		}
+		chunks = chunks[:numChunks]
+
+		// Parallel expansion of the level: rows with global targets, plus
+		// read-only dedup resolutions of the targets already discovered.
+		ForRanges(len(level), workers, frontierGrain, func(clo, chi int) bool {
+			ex := pool.Get().(*explorer)
+			defer pool.Put(ex)
+			ck := frontierChunk{
+				deg:   make([]int32, chi-clo),
+				legit: make([]bool, chi-clo),
+			}
+			for i := clo; i < chi; i++ {
+				g := level[i]
+				ex.cfg = enc.Decode(g, ex.cfg)
+				legit, err := ex.exploreState(g)
+				if err != nil {
+					failMu.Lock()
+					if failErr == nil {
+						failErr = err
+					}
+					failMu.Unlock()
+					return false
+				}
+				ck.legit[i-clo] = legit
+				ck.deg[i-clo] = int32(len(ex.outTo))
+				for j, t := range ex.outTo {
+					ck.to = append(ck.to, t)
+					ck.local = append(ck.local, ss.table.Lookup(t))
+					ck.prob = append(ck.prob, ex.outP[j])
+				}
+			}
+			chunks[clo/frontierGrain] = ck
+			return true
+		})
+		if failErr != nil {
+			return nil, failErr
+		}
+
+		// Serial stitch in chunk-and-row order: append the level's rows to
+		// the CSR, assigning local ids to newly discovered targets in
+		// deterministic order.
+		for _, ck := range chunks {
+			at := 0
+			for r, d := range ck.deg {
+				ss.Legit = append(ss.Legit, ck.legit[r])
+				for j := 0; j < int(d); j++ {
+					l := ck.local[at]
+					if l < 0 {
+						if int64(ss.table.Len()) >= maxStates && ss.table.Lookup(ck.to[at]) < 0 {
+							return nil, fmt.Errorf("statespace: frontier exploration exceeds %d states", maxStates)
+						}
+						l = ss.table.Add(ck.to[at])
+					}
+					ss.succ = append(ss.succ, l)
+					ss.prob = append(ss.prob, ck.prob[at])
+					at++
+				}
+				ss.off = append(ss.off, int64(len(ss.succ)))
+			}
+		}
+		lo = hi
+	}
+	ss.States = ss.table.Len()
+	ss.canonicalize()
+	return ss, nil
+}
+
+// BuildFromConfigs is BuildFrom with the seed set given as configurations;
+// each is validated against the process state domains before encoding.
+func BuildFromConfigs(a protocol.Algorithm, pol scheduler.Policy, cfgs []protocol.Configuration, opt Options) (*SubSpace, error) {
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		return nil, fmt.Errorf("statespace: %w", err)
+	}
+	n := a.Graph().N()
+	seeds := make([]int64, len(cfgs))
+	for i, cfg := range cfgs {
+		if len(cfg) != n {
+			return nil, fmt.Errorf("statespace: seed %d has %d process states, want %d", i, len(cfg), n)
+		}
+		for p, v := range cfg {
+			if v < 0 || v >= a.StateCount(p) {
+				return nil, fmt.Errorf("statespace: seed %d: state %d out of domain [0,%d) at p=%d", i, v, a.StateCount(p), p)
+			}
+		}
+		seeds[i] = enc.Encode(cfg)
+	}
+	return BuildFrom(a, pol, seeds, opt)
+}
+
+// canonicalize renumbers local ids into ascending-global order and remaps
+// the CSR accordingly. Discovery order depends on the seed ordering and
+// BFS schedule; ascending-global order is a canonical function of the seed
+// *set*, aligns subspace iteration order with full-space iteration order
+// (so analyses pick identical witnesses), and — because row targets were
+// merged in ascending *global* order — keeps every remapped row sorted
+// without re-sorting.
+func (ss *SubSpace) canonicalize() {
+	globals := ss.table.Globals()
+	order := make([]int32, ss.States) // new id -> old id
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return globals[order[i]] < globals[order[j]] })
+	sorted := true
+	for i, old := range order {
+		if int(old) != i {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	perm := make([]int32, ss.States) // old id -> new id
+	for newID, old := range order {
+		perm[old] = int32(newID)
+	}
+	newOff := make([]int64, ss.States+1)
+	newSucc := make([]int32, len(ss.succ))
+	newProb := make([]float64, len(ss.prob))
+	newLegit := make([]bool, ss.States)
+	at := int64(0)
+	for newID, old := range order {
+		newOff[newID] = at
+		row := ss.succ[ss.off[old]:ss.off[old+1]]
+		prow := ss.prob[ss.off[old]:ss.off[old+1]]
+		for j, t := range row {
+			newSucc[at+int64(j)] = perm[t]
+			newProb[at+int64(j)] = prow[j]
+		}
+		at += int64(len(row))
+		newLegit[newID] = ss.Legit[old]
+	}
+	newOff[ss.States] = at
+	ss.off, ss.succ, ss.prob, ss.Legit = newOff, newSucc, newProb, newLegit
+	ss.table.Renumber(order)
+}

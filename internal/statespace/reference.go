@@ -54,7 +54,7 @@ func BuildReference(a protocol.Algorithm, pol scheduler.Policy, maxStates int64)
 		var row edgeSlice
 		for _, sub := range subsets {
 			for _, out := range protocol.StepOutcomes(a, cfg, sub) {
-				row = append(row, edge{to: int32(enc.Encode(out.Config)), p: w * out.Prob})
+				row = append(row, edge{to: enc.Encode(out.Config), p: w * out.Prob})
 			}
 		}
 		sort.Stable(row)
@@ -63,7 +63,7 @@ func BuildReference(a protocol.Algorithm, pol scheduler.Policy, maxStates int64)
 			for i++; i < len(row) && row[i].to == to; i++ {
 				p += row[i].p
 			}
-			sp.succ = append(sp.succ, to)
+			sp.succ = append(sp.succ, int32(to))
 			sp.prob = append(sp.prob, p)
 		}
 	}

@@ -171,9 +171,10 @@ func (r Reverse) BackwardBFS(seed []bool, skipPred []bool, workers int) []int32 
 			frontier = append(frontier, int32(s))
 		}
 	}
+	var spare []int32 // retired frontier recycled as the next level's buffer
 	for level := int32(1); len(frontier) > 0; level++ {
 		if workers == 1 || len(frontier) < parallelFrontierMin {
-			var next []int32
+			next := spare[:0]
 			for _, s := range frontier {
 				for _, pre := range r.Preds(s) {
 					if skipPred != nil && skipPred[pre] {
@@ -185,6 +186,7 @@ func (r Reverse) BackwardBFS(seed []bool, skipPred []bool, workers int) []int32 
 					}
 				}
 			}
+			spare = frontier
 			frontier = next
 			continue
 		}

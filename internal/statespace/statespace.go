@@ -115,9 +115,13 @@ func (sp *Space) Config(s int) protocol.Configuration {
 	return sp.Enc.Decode(int64(s), nil)
 }
 
-// edge is one pre-merge transition of the row under construction.
+// edge is one pre-merge transition of the row under construction. Targets
+// are global configuration indexes (int64) so the same explorer serves both
+// the full-range engine (whose spaces fit int32 state indexes) and the
+// frontier engine (whose subspaces may live inside index ranges far beyond
+// int32 — only *discovered* states need dense local ids there).
 type edge struct {
-	to int32
+	to int64
 	p  float64
 }
 
@@ -177,13 +181,13 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 	chunks := make([]chunk, numChunks)
 
 	var (
-		pool    = sync.Pool{New: func() any { return newExplorer(sp) }}
+		pool    = sync.Pool{New: func() any { return newExplorer(a, pol, enc) }}
 		failMu  sync.Mutex
 		failErr error
 	)
 	ForRanges(total, workers, chunkSize, func(lo, hi int) bool {
 		ex := pool.Get().(*explorer)
-		ck, err := ex.exploreRange(lo, hi)
+		ck, err := ex.exploreRange(lo, hi, sp.Legit)
 		pool.Put(ex)
 		if err != nil {
 			failMu.Lock()
@@ -222,9 +226,15 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 	return sp, nil
 }
 
-// explorer holds one worker's reusable scratch state.
+// explorer holds one worker's reusable scratch state. It is shared by the
+// full-range engine (Build) and the frontier engine (BuildFrom): both feed
+// it one decoded configuration at a time and read the merged successor row
+// (global targets, global probabilities) from outTo/outProb after each
+// exploreState call.
 type explorer struct {
-	sp       *Space
+	alg      protocol.Algorithm
+	pol      scheduler.Policy
+	enc      *protocol.Encoder
 	det      protocol.Deterministic // non-nil: allocation-free outcome fast path
 	n        int
 	counts   []int // per-process state-domain sizes, for outcome validation
@@ -239,12 +249,17 @@ type explorer struct {
 	actPos   []int // activated positions of the current mask
 	odo      []int // odometer over the activated positions' outcomes
 	row      edgeSlice
+
+	outTo []int64   // merged successor row: global target indexes, ascending
+	outP  []float64 // merged transition probabilities aligned with outTo
 }
 
-func newExplorer(sp *Space) *explorer {
-	n := sp.Alg.Graph().N()
+func newExplorer(alg protocol.Algorithm, pol scheduler.Policy, enc *protocol.Encoder) *explorer {
+	n := alg.Graph().N()
 	ex := &explorer{
-		sp:       sp,
+		alg:      alg,
+		pol:      pol,
+		enc:      enc,
 		n:        n,
 		counts:   make([]int, n),
 		cfg:      make(protocol.Configuration, n),
@@ -252,12 +267,12 @@ func newExplorer(sp *Space) *explorer {
 		outProb:  make([][]float64, n),
 	}
 	for p := 0; p < n; p++ {
-		ex.counts[p] = sp.Alg.StateCount(p)
+		ex.counts[p] = alg.StateCount(p)
 	}
-	if det, ok := sp.Alg.(protocol.Deterministic); ok {
+	if det, ok := alg.(protocol.Deterministic); ok {
 		ex.det = det
 	}
-	if _, ok := sp.Pol.(scheduler.MaskPolicy); ok {
+	if _, ok := pol.(scheduler.MaskPolicy); ok {
 		// Mask policies depend only on the enabled-set size, so masks are
 		// cacheable per size; id-dependent policies are re-queried per state.
 		ex.maskable = true
@@ -272,44 +287,49 @@ func (ex *explorer) subsetMasks() []uint64 {
 		if m, ok := ex.masks[k]; ok {
 			return m
 		}
-		m := scheduler.PolicyMasks(ex.sp.Pol, ex.enabled)
+		m := scheduler.PolicyMasks(ex.pol, ex.enabled)
 		ex.masks[k] = m
 		return m
 	}
-	return scheduler.PolicyMasks(ex.sp.Pol, ex.enabled)
+	return scheduler.PolicyMasks(ex.pol, ex.enabled)
 }
 
-// exploreRange explores states [lo, hi) into a fresh CSR fragment. The
-// range's configurations are decoded once at lo and then advanced by
-// odometer increments, so the mixed-radix divisions of Decode are paid
-// once per range instead of once per state.
-func (ex *explorer) exploreRange(lo, hi int) (chunk, error) {
+// exploreRange explores states [lo, hi) into a fresh CSR fragment,
+// recording legitimacy into legit. The range's configurations are decoded
+// once at lo and then advanced by odometer increments, so the mixed-radix
+// divisions of Decode are paid once per range instead of once per state.
+func (ex *explorer) exploreRange(lo, hi int, legit []bool) (chunk, error) {
 	ck := chunk{deg: make([]int32, hi-lo)}
 	for s := lo; s < hi; s++ {
 		if s == lo {
-			ex.cfg = ex.sp.Enc.Decode(int64(s), ex.cfg)
+			ex.cfg = ex.enc.Decode(int64(s), ex.cfg)
 		} else {
-			ex.sp.Enc.DecodeNext(ex.cfg)
+			ex.enc.DecodeNext(ex.cfg)
 		}
-		before := len(ck.succ)
-		var err error
-		ck.succ, ck.prob, err = ex.exploreState(s, ck.succ, ck.prob)
+		isLegit, err := ex.exploreState(int64(s))
 		if err != nil {
 			return chunk{}, err
 		}
-		ck.deg[s-lo] = int32(len(ck.succ) - before)
+		legit[s] = isLegit
+		for i, t := range ex.outTo {
+			ck.succ = append(ck.succ, int32(t))
+			ck.prob = append(ck.prob, ex.outP[i])
+		}
+		ck.deg[s-lo] = int32(len(ex.outTo))
 	}
 	return ck, nil
 }
 
-// exploreState computes the merged successor row of state s — whose
-// configuration the caller has already decoded into ex.cfg — and appends
-// it to succ/prob, which are returned regrown. Outcome states are
-// validated against the process domains so a misbehaving Algorithm yields
-// a clean error instead of an aliased state index.
-func (ex *explorer) exploreState(s int, succ []int32, prob []float64) ([]int32, []float64, error) {
-	sp := ex.sp
-	sp.Legit[s] = sp.Alg.Legitimate(ex.cfg)
+// exploreState computes the merged successor row of the configuration the
+// caller has decoded into ex.cfg, whose global index is g, leaving global
+// targets and probabilities in ex.outTo/ex.outP, and reports its
+// legitimacy. Outcome states are validated against the process domains so
+// a misbehaving Algorithm yields a clean error instead of an aliased state
+// index.
+func (ex *explorer) exploreState(g int64) (bool, error) {
+	legit := ex.alg.Legitimate(ex.cfg)
+	ex.outTo = ex.outTo[:0]
+	ex.outP = ex.outP[:0]
 
 	// Enabled processes and their outcome distributions, computed once per
 	// state (every activation subset reuses them): outcome j of enabled
@@ -318,38 +338,38 @@ func (ex *explorer) exploreState(s int, succ []int32, prob []float64) ([]int32, 
 	ex.enabled = ex.enabled[:0]
 	ex.actions = ex.actions[:0]
 	for p := 0; p < ex.n; p++ {
-		if act := sp.Alg.EnabledAction(ex.cfg, p); act != protocol.Disabled {
+		if act := ex.alg.EnabledAction(ex.cfg, p); act != protocol.Disabled {
 			ex.enabled = append(ex.enabled, p)
 			ex.actions = append(ex.actions, act)
 		}
 	}
 	if len(ex.enabled) == 0 {
-		return succ, prob, nil // terminal: empty row, absorbing in the Markov view
+		return legit, nil // terminal: empty row, absorbing in the Markov view
 	}
 	deterministic := true
 	for i, p := range ex.enabled {
-		w := sp.Enc.Weight(p)
+		w := ex.enc.Weight(p)
 		ex.outDelta[i] = ex.outDelta[i][:0]
 		ex.outProb[i] = ex.outProb[i][:0]
 		if ex.det != nil {
 			next := ex.det.DeterministicExecute(ex.cfg, p, ex.actions[i])
 			if next < 0 || next >= ex.counts[p] {
-				return nil, nil, fmt.Errorf("statespace: %s: outcome state %d out of domain [0,%d) at p=%d in %v",
-					sp.Alg.Name(), next, ex.counts[p], p, ex.cfg)
+				return false, fmt.Errorf("statespace: %s: outcome state %d out of domain [0,%d) at p=%d in %v",
+					ex.alg.Name(), next, ex.counts[p], p, ex.cfg)
 			}
 			ex.outDelta[i] = append(ex.outDelta[i], int64(next-ex.cfg[p])*w)
 			ex.outProb[i] = append(ex.outProb[i], 1)
 			continue
 		}
-		outs := sp.Alg.Outcomes(ex.cfg, p, ex.actions[i])
+		outs := ex.alg.Outcomes(ex.cfg, p, ex.actions[i])
 		if len(outs) == 0 {
-			return nil, nil, fmt.Errorf("statespace: %s: no outcomes for enabled action %s at p=%d in %v",
-				sp.Alg.Name(), sp.Alg.ActionName(ex.actions[i]), p, ex.cfg)
+			return false, fmt.Errorf("statespace: %s: no outcomes for enabled action %s at p=%d in %v",
+				ex.alg.Name(), ex.alg.ActionName(ex.actions[i]), p, ex.cfg)
 		}
 		for _, o := range outs {
 			if o.State < 0 || o.State >= ex.counts[p] {
-				return nil, nil, fmt.Errorf("statespace: %s: outcome state %d out of domain [0,%d) at p=%d in %v",
-					sp.Alg.Name(), o.State, ex.counts[p], p, ex.cfg)
+				return false, fmt.Errorf("statespace: %s: outcome state %d out of domain [0,%d) at p=%d in %v",
+					ex.alg.Name(), o.State, ex.counts[p], p, ex.cfg)
 			}
 			ex.outDelta[i] = append(ex.outDelta[i], int64(o.State-ex.cfg[p])*w)
 			ex.outProb[i] = append(ex.outProb[i], o.Prob)
@@ -371,10 +391,10 @@ func (ex *explorer) exploreState(s int, succ []int32, prob []float64) ([]int32, 
 				mask &= mask - 1
 				delta += ex.outDelta[i][0]
 			}
-			ex.row = append(ex.row, edge{to: int32(int64(s) + delta), p: w})
+			ex.row = append(ex.row, edge{to: g + delta, p: w})
 			continue
 		}
-		ex.enumerateMask(s, mask, w)
+		ex.enumerateMask(g, mask, w)
 	}
 
 	// Merge duplicate targets: stable sort keeps enumeration order within a
@@ -385,16 +405,16 @@ func (ex *explorer) exploreState(s int, succ []int32, prob []float64) ([]int32, 
 		for i++; i < len(ex.row) && ex.row[i].to == to; i++ {
 			p += ex.row[i].p
 		}
-		succ = append(succ, to)
-		prob = append(prob, p)
+		ex.outTo = append(ex.outTo, to)
+		ex.outP = append(ex.outP, p)
 	}
-	return succ, prob, nil
+	return legit, nil
 }
 
 // enumerateMask appends every joint outcome of the activation subset mask
 // (an odometer over the activated positions' outcome lists, last position
 // varying fastest) to the row under construction.
-func (ex *explorer) enumerateMask(s int, mask uint64, w float64) {
+func (ex *explorer) enumerateMask(g int64, mask uint64, w float64) {
 	ex.actPos = ex.actPos[:0]
 	for mask != 0 {
 		i := bits.TrailingZeros64(mask)
@@ -411,7 +431,7 @@ func (ex *explorer) enumerateMask(s int, mask uint64, w float64) {
 			delta += ex.outDelta[i][ex.odo[j]]
 			p *= ex.outProb[i][ex.odo[j]]
 		}
-		ex.row = append(ex.row, edge{to: int32(int64(s) + delta), p: p})
+		ex.row = append(ex.row, edge{to: g + delta, p: p})
 		j := len(ex.actPos) - 1
 		for ; j >= 0; j-- {
 			ex.odo[j]++

@@ -1,0 +1,99 @@
+package statespace
+
+import (
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// TransitionSystem is the analysis-facing contract shared by the
+// full-index-range Space and the frontier-explored SubSpace: a weighted CSR
+// graph over dense state indexes with a legitimacy vector, a cached
+// predecessor view, and configuration decoding. The checker's closure,
+// convergence and lasso passes, the Markov chain (markov.FromSpace) and the
+// core decision procedure all run against this interface, so every analysis
+// is subspace-native: it operates on whatever state indexing the underlying
+// system uses (global mixed-radix indexes for Space, discovery-order local
+// indexes for SubSpace) without knowing which.
+type TransitionSystem interface {
+	// Algorithm returns the explored algorithm.
+	Algorithm() protocol.Algorithm
+	// Policy returns the scheduler policy the system was explored under.
+	Policy() scheduler.Policy
+	// NumStates returns the number of states of the system.
+	NumStates() int
+	// TotalConfigs returns the size of the full configuration space the
+	// system lives in. Equal to NumStates for a Space; for a SubSpace,
+	// NumStates/TotalConfigs is the explored (reachable) fraction.
+	TotalConfigs() int64
+	// IsLegit reports whether state s is legitimate.
+	IsLegit(s int) bool
+	// LegitSet returns the per-state legitimacy vector. The slice aliases
+	// the system; callers must not modify it.
+	LegitSet() []bool
+	// PoolWorkers returns the worker-pool size analyses over this system
+	// should run on (the resolved exploration pool size).
+	PoolWorkers() int
+	// Succ returns the successor state indexes of s, deduplicated and
+	// sorted ascending. The slice aliases the system.
+	Succ(s int) []int32
+	// Prob returns the transition probabilities aligned with Succ(s). The
+	// slice aliases the system.
+	Prob(s int) []float64
+	// IsTerminal reports whether state s has no successors.
+	IsTerminal(s int) bool
+	// Edges returns the total number of stored transitions.
+	Edges() int64
+	// CSR exposes the raw forward CSR triple without copying. Callers must
+	// not modify the slices.
+	CSR() (off []int64, succ []int32, prob []float64)
+	// Reverse returns the predecessor view, built on first use and cached.
+	Reverse() Reverse
+	// Config decodes state index s into a fresh configuration.
+	Config(s int) protocol.Configuration
+	// ConfigInto decodes state index s into dst (allocating only when dst
+	// is nil or too short) and returns it, so sweeping analyses reuse one
+	// decode buffer.
+	ConfigInto(s int, dst protocol.Configuration) protocol.Configuration
+	// StateOf returns the state index of cfg within the system. ok is
+	// false when cfg is not part of the system — possible only for a
+	// SubSpace (a Space contains every configuration of the index range).
+	StateOf(cfg protocol.Configuration) (int32, bool)
+}
+
+var (
+	_ TransitionSystem = (*Space)(nil)
+	_ TransitionSystem = (*SubSpace)(nil)
+)
+
+// Algorithm implements TransitionSystem.
+func (sp *Space) Algorithm() protocol.Algorithm { return sp.Alg }
+
+// Policy implements TransitionSystem.
+func (sp *Space) Policy() scheduler.Policy { return sp.Pol }
+
+// NumStates implements TransitionSystem.
+func (sp *Space) NumStates() int { return sp.States }
+
+// TotalConfigs implements TransitionSystem: a Space always covers the full
+// index range.
+func (sp *Space) TotalConfigs() int64 { return sp.Enc.Total() }
+
+// IsLegit implements TransitionSystem.
+func (sp *Space) IsLegit(s int) bool { return sp.Legit[s] }
+
+// LegitSet implements TransitionSystem.
+func (sp *Space) LegitSet() []bool { return sp.Legit }
+
+// PoolWorkers implements TransitionSystem.
+func (sp *Space) PoolWorkers() int { return sp.Workers }
+
+// ConfigInto implements TransitionSystem.
+func (sp *Space) ConfigInto(s int, dst protocol.Configuration) protocol.Configuration {
+	return sp.Enc.Decode(int64(s), dst)
+}
+
+// StateOf implements TransitionSystem: every in-domain configuration is a
+// state of the full space.
+func (sp *Space) StateOf(cfg protocol.Configuration) (int32, bool) {
+	return int32(sp.Enc.Encode(cfg)), true
+}

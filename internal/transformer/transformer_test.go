@@ -293,3 +293,77 @@ func TestNames(t *testing.T) {
 		t.Fatal("empty explicit action name")
 	}
 }
+
+// TestTransformedFrontierSubspaceParity wires the frontier engine through
+// the transformer: exploring the transformed token ring only from the
+// distance-≤1 fault ball must reproduce the full-space probability-1
+// verdicts and hitting times bit-for-bit on the explored states — the
+// transformed system's probabilistic rows (coin-toss outcome
+// distributions) survive the subspace path unchanged.
+func TestTransformedFrontierSubspaceParity(t *testing.T) {
+	inner, err := tokenring.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans := New(inner)
+	pol := scheduler.DistributedPolicy{}
+	full, err := statespace.Build(trans, pol, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullChain, err := markov.FromSpace(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullH, err := fullChain.HittingTimes(markov.TargetFromSpace(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds: every legitimate configuration plus its single-process
+	// corruptions (the k=1 fault ball), straight off the full space.
+	var seeds []int64
+	cfg := make(protocol.Configuration, 4)
+	for s := 0; s < full.States; s++ {
+		if !full.Legit[s] {
+			continue
+		}
+		seeds = append(seeds, int64(s))
+		cfg = full.Enc.Decode(int64(s), cfg)
+		for p := 0; p < 4; p++ {
+			orig := cfg[p]
+			for v := 0; v < trans.StateCount(p); v++ {
+				if v == orig {
+					continue
+				}
+				cfg[p] = v
+				seeds = append(seeds, full.Enc.Encode(cfg))
+			}
+			cfg[p] = orig
+		}
+	}
+	ss, err := statespace.BuildFrom(trans, pol, seeds, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.States >= full.States {
+		t.Fatalf("ball closure covers the whole transformed space (%d states)", ss.States)
+	}
+	chain, err := markov.FromSpace(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := chain.HittingTimes(markov.TargetFromSpace(ss))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probOne := chain.ReachesWithProbOne(markov.TargetFromSpace(ss))
+	for l := 0; l < ss.States; l++ {
+		g := ss.GlobalIndex(l)
+		if !probOne[l] {
+			t.Fatalf("transformed subspace state %d not converging with probability 1", g)
+		}
+		if h[l] != fullH[g] {
+			t.Fatalf("hitting time at global %d: %g (subspace) vs %g (full)", g, h[l], fullH[g])
+		}
+	}
+}
