@@ -6,6 +6,7 @@
 //	stabbench -list
 //	stabbench [-run E8] [-quick] [-seed 7] [-trials 500]
 //	stabbench -run E12a -cpuprofile cpu.out -memprofile mem.out
+//	stabbench -cache ~/.weakstab-cache   # reruns load explored spaces from disk
 package main
 
 import (
@@ -32,6 +33,7 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "random seed")
 		trials     = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
 		workers    = flag.Int("workers", 0, "state-space exploration workers (0 = all CPUs)")
+		cacheDir   = flag.String("cache", "", "on-disk space cache directory: repeated runs load explored spaces instead of rebuilding them")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	)
@@ -73,7 +75,7 @@ func run() int {
 		}()
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials, Workers: *workers}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials, Workers: *workers, CacheDir: *cacheDir}
 	if *runID == "" {
 		if err := experiments.RunAll(os.Stdout, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "FAIL:", err)

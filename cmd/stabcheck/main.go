@@ -18,10 +18,16 @@
 // The -kfaults verdicts themselves always pay for the fault ball, not the
 // space: the distance-≤k ball is enumerated directly (no transition
 // exploration) and only its forward closure is frontier-explored; the
-// verdicts are bit-identical to the full-space ones. Note that without
-// -reachable the main classification report still builds the full space —
-// combine `-reachable -kfaults k` for an end-to-end ball-sized run (the
-// report then quantifies over the ball's closure).
+// verdicts are bit-identical to the full-space ones. Combining
+// `-reachable -kfaults k` is ball-sized end to end: the single ball
+// enumeration and single closure exploration feed both the classification
+// report (which then quantifies over the ball's closure) and the per-k
+// verdicts.
+//
+// With -cache DIR, explored spaces and subspaces are persisted to (and
+// loaded from) an on-disk cache keyed by (algorithm, instance, policy[,
+// seed set]); a repeated invocation skips exploration entirely and prints
+// a bit-identical report.
 //
 // Examples:
 //
@@ -32,6 +38,7 @@
 //	stabcheck -alg tokenring -n 14 -reachable -kfaults 2   # ball-sized, end to end
 //	stabcheck -alg tokenring -n 10 -reachable              # closure of L
 //	stabcheck -alg tokenring -n 6 -reachable -from 1,0,2,1,0,3
+//	stabcheck -alg tokenring -n 11 -cache ~/.weakstab-cache  # warm runs skip exploration
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"weakstab/internal/core"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/spacecache"
 	"weakstab/internal/statespace"
 )
 
@@ -66,6 +74,7 @@ func main() {
 		from      = flag.String("from", "", "seed configurations for -reachable: comma-separated process states, ';' between configurations (e.g. 1,0,2;0,0,0)")
 		maxStates = flag.Int64("max-states", 0, "state space cap (0 = default)")
 		workers   = flag.Int("workers", 0, "exploration worker-pool size (0 = all CPUs)")
+		cacheDir  = flag.String("cache", "", "on-disk space cache directory: repeated runs load the explored space instead of rebuilding it")
 	)
 	flag.Parse()
 
@@ -79,13 +88,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cache, err := spacecache.Open(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
 	opt := statespace.Options{MaxStates: *maxStates, Workers: *workers}
 
-	var ts statespace.TransitionSystem
-	if *reachable {
-		ts, err = exploreReachable(a, pol, *from, *kfaults, opt)
-	} else {
-		ts, err = statespace.Build(a, pol, opt)
+	// Explore once. With `-reachable -kfaults k` (and no explicit -from)
+	// the one ball closure below is shared end to end: it is the analyzed
+	// subspace of the report AND the subspace the k-fault verdicts scan.
+	var (
+		ts          statespace.TransitionSystem
+		ballSS      *statespace.SubSpace
+		ballGlobals []int64
+		ballDist    []int
+	)
+	switch {
+	case *reachable && *from == "":
+		k := 0
+		if *kfaults > 0 {
+			k = *kfaults
+		}
+		ballSS, ballGlobals, ballDist, err = exploreBall(cache, a, pol, k, opt)
+		if err == nil && ballSS == nil {
+			err = fmt.Errorf("the legitimate set is empty; give explicit seeds with -from")
+		}
+		ts = ballSS
+	case *reachable:
+		var cfgs []protocol.Configuration
+		if cfgs, err = parseSeeds(*from, a.Graph().N()); err == nil {
+			ts, _, err = cache.BuildSubSpaceFromConfigs(a, pol, cfgs, opt)
+		}
+	default:
+		ts, _, err = cache.BuildSpace(a, pol, opt)
 	}
 	if err != nil {
 		fatal(err)
@@ -106,17 +141,24 @@ func main() {
 		printWitness(sp)
 	}
 	if *kfaults >= 0 {
-		verdicts, ballSp, err := checker.BallVerdicts(a, pol, *kfaults, opt)
-		if err != nil {
-			fatal(err)
+		ss, globals, dist := ballSS, ballGlobals, ballDist
+		if ss == nil {
+			// Full-space or explicit-seed report: the ball pipeline still
+			// runs exactly once, for the verdicts only.
+			ss, globals, dist, err = exploreBall(cache, a, pol, *kfaults, opt)
+			if err != nil {
+				fatal(err)
+			}
 		}
+		// A nil subspace (empty legitimate set) yields vacuous verdicts.
+		verdicts := checker.BallVerdictsOver(ss, checker.BallLocalDistances(ss, globals, dist), *kfaults)
 		for _, v := range verdicts {
 			fmt.Printf("  k=%d faults: %d configurations, possible=%v certain=%v\n",
 				v.K, v.Configs, v.Possible, v.Certain)
 		}
-		if ballSp != nil {
+		if ss != nil {
 			fmt.Printf("  (ball closure: %d of %d configurations explored)\n",
-				ballSp.NumStates(), ballSp.TotalConfigs())
+				ss.NumStates(), ss.TotalConfigs())
 		}
 	}
 	if *lasso {
@@ -130,31 +172,14 @@ func main() {
 	}
 }
 
-// exploreReachable frontier-explores the forward closure of the -from
-// seeds. Without -from, the seed set is the distance-≤k fault ball when
-// -kfaults is given (so `-reachable -kfaults k` is a pure ball-sized
-// analysis end to end) and the legitimate set otherwise (the closure of
-// L — the region every closed stabilizing execution lives in).
-func exploreReachable(a protocol.Algorithm, pol scheduler.Policy, from string, kfaults int, opt statespace.Options) (statespace.TransitionSystem, error) {
-	if from == "" {
-		k := 0
-		if kfaults > 0 {
-			k = kfaults
-		}
-		seeds, _, err := checker.FaultBall(a, k, opt.Workers, opt.MaxStates)
-		if err != nil {
-			return nil, err
-		}
-		if len(seeds) == 0 {
-			return nil, fmt.Errorf("the legitimate set is empty; give explicit seeds with -from")
-		}
-		return statespace.BuildFrom(a, pol, seeds, opt)
-	}
-	cfgs, err := parseSeeds(from, a.Graph().N())
-	if err != nil {
-		return nil, err
-	}
-	return statespace.BuildFromConfigs(a, pol, cfgs, opt)
+// exploreBall enumerates the distance-≤k fault ball and explores its
+// forward closure — through the cache, so a warm run loads the closure
+// subspace instead of frontier-exploring it. The ball enumeration itself
+// (a legitimacy scan plus mutation BFS, no transition exploration) always
+// runs: it is what produces the seed set the cache key hashes. A nil
+// subspace with nil error means the legitimate set is empty.
+func exploreBall(cache *spacecache.Cache, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
+	return checker.BallClosureUsing(checker.BuilderFromCache(cache), a, pol, k, opt)
 }
 
 // parseSeeds parses "1,0,2;0,0,0" into configurations of n states.
@@ -179,24 +204,20 @@ func parseSeeds(s string, n int) ([]protocol.Configuration, error) {
 }
 
 // printWitness prints the shortest convergence path from the configuration
-// farthest from L (or reports the first configuration with none).
+// farthest from L (or reports the first configuration with none). One
+// backward BFS from L prices every state's distance; the worst witness is
+// reconstructed from that single pass.
 func printWitness(sp *checker.Space) {
-	worst, worstLen := -1, 0
-	for s := 0; s < sp.NumStates(); s++ {
-		path := sp.WitnessPath(sp.Config(s))
-		if path == nil {
-			fmt.Printf("  no convergence path from %v\n", sp.Config(s))
-			return
-		}
-		if len(path) > worstLen {
-			worst, worstLen = s, len(path)
-		}
-	}
-	if worst < 0 {
+	path, stuck := sp.WorstCaseWitness()
+	if stuck != nil {
+		fmt.Printf("  no convergence path from %v\n", stuck)
 		return
 	}
-	fmt.Printf("  worst-case witness (%d steps):\n", worstLen-1)
-	for _, cfg := range sp.WitnessPath(sp.Config(worst)) {
+	if len(path) == 0 {
+		return
+	}
+	fmt.Printf("  worst-case witness (%d steps):\n", len(path)-1)
+	for _, cfg := range path {
 		fmt.Printf("    %v\n", cfg)
 	}
 }

@@ -1,22 +1,30 @@
 // How many faults can the system absorb? The k-stabilization lens from the
 // paper's related work, computed exactly — and paid for at ball size, not
 // space size: the distance-≤k fault ball is enumerated directly, only its
-// forward closure is frontier-explored (statespace.BuildFrom), and the
-// checker and Markov analyses run subspace-native over that closure.
+// forward closure is frontier-explored (once — checker.BallClosure), and
+// the checker and Markov analyses run subspace-native over that closure.
+// With -cache DIR the closure subspace is persisted, so a rerun skips even
+// the frontier exploration and loads it from disk.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"weakstab"
 	"weakstab/internal/checker"
 	"weakstab/internal/markov"
+	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/spacecache"
 	"weakstab/internal/statespace"
 )
 
 func main() {
+	cacheDir := flag.String("cache", "", "optional on-disk space cache directory")
+	flag.Parse()
+
 	alg, err := weakstab.NewTokenRing(6)
 	if err != nil {
 		log.Fatal(err)
@@ -25,27 +33,27 @@ func main() {
 	const maxFaults = 2
 
 	// Enumerate the fault ball (no transition exploration), then explore
-	// only its forward closure. One frontier exploration feeds both the
-	// checker (per-ball verdicts) and the exact Markov recovery times.
-	// (checker.BallVerdicts wraps the verdict half of this pipeline in one
-	// call; the example composes the pieces because it also wants the
-	// ball's per-distance hitting times from the same subspace.)
-	globals, dist, err := checker.FaultBall(alg, maxFaults, 0, 0)
+	// only its forward closure — exactly once. The one subspace feeds both
+	// the checker (per-ball verdicts) and the exact Markov recovery times.
+	cache, err := spacecache.Open(*cacheDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ss, err := statespace.BuildFrom(alg, pol, globals, statespace.Options{})
+	var hit bool
+	ss, globals, dist, err := checker.BallClosureUsing(
+		func(a protocol.Algorithm, p scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
+			built, h, err := cache.BuildSubSpace(a, p, seeds, opt)
+			hit = h
+			return built, err
+		}, alg, pol, maxFaults, statespace.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sp := checker.FromSpace(ss)
-	localDist := make([]int, ss.NumStates())
-	for i := range localDist {
-		localDist[i] = -1
+	if ss == nil {
+		log.Fatal("legitimate set is empty; nothing to analyze")
 	}
-	for i, g := range globals {
-		localDist[ss.LocalIndex(g)] = dist[i]
-	}
+	localDist := checker.BallLocalDistances(ss, globals, dist)
+	verdicts := checker.BallVerdictsOver(ss, localDist, maxFaults)
 
 	chain, err := markov.FromSpace(ss)
 	if err != nil {
@@ -59,9 +67,12 @@ func main() {
 	fmt.Println("token ring N=6 under the central scheduler:")
 	fmt.Printf("(explored %d of %d configurations — the distance-≤%d ball and its closure)\n",
 		ss.NumStates(), ss.TotalConfigs(), maxFaults)
+	if hit {
+		fmt.Println("(closure loaded from the space cache — no exploration this run)")
+	}
 	fmt.Println("k  configs  deterministic-recovery  E[recovery | k faults]")
 	for k := 0; k <= maxFaults; k++ {
-		v := sp.CheckKFaults(k, localDist)
+		v := verdicts[k]
 		count, sum := 0, 0.0
 		for s := 0; s < ss.NumStates(); s++ {
 			if localDist[s] == k {

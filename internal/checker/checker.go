@@ -297,6 +297,52 @@ func (sp *Space) WitnessPath(from protocol.Configuration) []protocol.Configurati
 	return nil
 }
 
+// WorstCaseWitness returns a shortest convergence path from the
+// configuration farthest from L — the worst case of the instance's
+// "optimistic" stabilization radius — or, when some configuration cannot
+// reach L at all, (nil, that configuration). Unlike running WitnessPath
+// per state (a forward BFS each, quadratic over the space), it pays one
+// parallel backward BFS from L over the cached reverse CSR and then
+// reconstructs the path by greedy descent: from the worst state, any
+// successor one step closer to L extends a shortest path. Deterministic:
+// the worst state is the lowest-index state at maximal distance, and the
+// descent takes the lowest-index qualifying successor (rows are sorted).
+func (sp *Space) WorstCaseWitness() ([]protocol.Configuration, protocol.Configuration) {
+	dist := sp.Reverse().BackwardBFS(sp.LegitSet(), nil, sp.PoolWorkers())
+	worst := -1
+	for s, d := range dist {
+		if d < 0 {
+			return nil, sp.Config(s)
+		}
+		if worst < 0 || d > dist[worst] {
+			worst = s
+		}
+	}
+	if worst < 0 {
+		return nil, nil // empty system
+	}
+	path := make([]protocol.Configuration, 0, dist[worst]+1)
+	for cur := worst; ; {
+		path = append(path, sp.Config(cur))
+		if dist[cur] == 0 {
+			return path, nil
+		}
+		next := -1
+		for _, t := range sp.Succ(cur) {
+			if dist[t] == dist[cur]-1 {
+				next = int(t)
+				break
+			}
+		}
+		if next < 0 {
+			// Unreachable by the BFS invariant (every state at distance d>0
+			// has a successor at d-1); guards against a corrupted system.
+			return path, nil
+		}
+		cur = next
+	}
+}
+
 // MaxShortestConvergencePath returns the maximum over all configurations
 // of the shortest path length to L (the "optimistic" stabilization radius
 // of the instance), or math.Inf(1) if some configuration cannot reach L.

@@ -177,9 +177,7 @@ func FaultBall(a protocol.Algorithm, k int, workers int, maxStates int64) ([]int
 	if err != nil {
 		return nil, nil, fmt.Errorf("checker: %w", err)
 	}
-	if maxStates <= 0 {
-		maxStates = statespace.DefaultMaxStates
-	}
+	maxStates = statespace.StateCap(maxStates)
 	n := a.Graph().N()
 	total := enc.Total()
 	if total > int64(math.MaxInt) {
@@ -224,6 +222,8 @@ func FaultBall(a protocol.Algorithm, k int, workers int, maxStates int64) ([]int
 			dist = append(dist, 0)
 		}
 	}
+	// Inclusive cap: a legitimate set of exactly maxStates is admitted,
+	// matching the seed admission of statespace.BuildFrom.
 	if int64(ball.Len()) > maxStates {
 		return nil, nil, fmt.Errorf("checker: legitimate set of %d configurations exceeds the %d-state cap", ball.Len(), maxStates)
 	}
@@ -245,6 +245,9 @@ func FaultBall(a protocol.Algorithm, k int, workers int, maxStates int64) ([]int
 				}
 				ng := g + int64(v-orig)*w
 				if ball.Lookup(ng) < 0 {
+					// Inclusive cap: the maxStates-th discovered state is
+					// admitted; only the one after fails — the same
+					// semantics as the frontier engine's discovery cap.
 					if int64(ball.Len()) >= maxStates {
 						return nil, nil, fmt.Errorf("checker: distance-%d fault ball exceeds the %d-state cap", k, maxStates)
 					}
@@ -271,35 +274,71 @@ func FaultBall(a protocol.Algorithm, k int, workers int, maxStates int64) ([]int
 	return outG, outD, nil
 }
 
-// BallVerdicts classifies the k-fault convergence properties for every
-// k' in 0..k by frontier exploration: only the distance-≤k ball and its
-// forward closure are ever built, so the cost scales with the ball, not
-// the configuration space. The verdicts are bit-identical to running
-// CheckKFaults over the full space (the ball contains every configuration
-// at distance ≤ k by construction, and every execution from the ball stays
-// inside the explored closure). The subspace is returned for further
-// analysis (e.g. hitting times of the ball states).
-func BallVerdicts(a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) ([]KFaultVerdict, *Space, error) {
+// SubSpaceBuilder explores the forward closure of a seed set — the shape
+// of statespace.BuildFrom, which BallClosure uses directly, and of the
+// load-or-build wrappers an on-disk space cache provides (a closure over
+// spacecache.Cache.BuildSubSpace satisfies it without this package
+// depending on the cache).
+type SubSpaceBuilder func(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error)
+
+// BallClosure enumerates the distance-≤k fault ball (FaultBall) and
+// frontier-explores its forward closure (statespace.BuildFrom) — exactly
+// once each. It returns the closure subspace together with the ball's
+// global indexes and exact fault distances, so one exploration can feed
+// both a full classification report (core.AnalyzeSpace over the subspace)
+// and the per-k verdicts (BallVerdictsOver). When the legitimate set is
+// empty there is nothing to explore: the subspace is nil and globals is
+// empty, with no error.
+func BallClosure(a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
+	return BallClosureUsing(nil, a, pol, k, opt)
+}
+
+// BallClosureUsing is BallClosure with the closure exploration delegated
+// to build (nil means statespace.BuildFrom) — the cached pipelines of
+// stabcheck, the experiments and the examples inject a space-cache
+// load-or-build here, so the one-ball-enumeration + one-closure shape
+// lives in exactly one place.
+func BallClosureUsing(build SubSpaceBuilder, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
 	globals, ballDist, err := FaultBall(a, k, opt.Workers, opt.MaxStates)
-	if err != nil {
-		return nil, nil, err
+	if err != nil || len(globals) == 0 {
+		return nil, globals, ballDist, err
 	}
-	if len(globals) == 0 {
-		// Empty legitimate set: every verdict is vacuous.
-		out := make([]KFaultVerdict, k+1)
-		for kk := range out {
-			out[kk] = KFaultVerdict{K: kk, Possible: true, Certain: true}
+	if build == nil {
+		build = func(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
+			return statespace.BuildFrom(a, pol, seeds, opt)
 		}
-		return out, nil, nil
 	}
-	ss, err := statespace.BuildFrom(a, pol, globals, opt)
+	ss, err := build(a, pol, globals, opt)
 	if err != nil {
-		return nil, nil, fmt.Errorf("checker: %w", err)
+		return nil, nil, nil, fmt.Errorf("checker: %w", err)
 	}
-	sp := FromSpace(ss)
-	// Per-local fault distances: ball members carry their exact distance,
-	// closure states discovered beyond the ball are marked -1 (they are
-	// not initial configurations of any k'-fault scenario, k' ≤ k).
+	return ss, globals, ballDist, nil
+}
+
+// BuilderFromCache adapts any load-or-build source with the shape of
+// spacecache.Cache.BuildSubSpace (which is nil-receiver-safe, so a missing
+// -cache flag threads straight through) to a SubSpaceBuilder, discarding
+// the hit flag. The parameter is structural, so this package stays
+// independent of the cache layer.
+func BuilderFromCache(c interface {
+	BuildSubSpace(protocol.Algorithm, scheduler.Policy, []int64, statespace.Options) (*statespace.SubSpace, bool, error)
+}) SubSpaceBuilder {
+	return func(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
+		ss, _, err := c.BuildSubSpace(a, pol, seeds, opt)
+		return ss, err
+	}
+}
+
+// BallLocalDistances maps the ball enumeration (globals and aligned fault
+// distances, as returned by FaultBall or BallClosure) onto the local state
+// ids of the ball's closure subspace: ball members carry their exact
+// distance, closure states discovered beyond the ball are marked -1 (they
+// are not initial configurations of any k'-fault scenario). A nil
+// subspace (BallClosure's empty-legitimate-set result) yields nil.
+func BallLocalDistances(ss *statespace.SubSpace, globals []int64, ballDist []int) []int {
+	if ss == nil {
+		return nil
+	}
 	dist := make([]int, ss.NumStates())
 	for i := range dist {
 		dist[i] = -1
@@ -307,11 +346,58 @@ func BallVerdicts(a protocol.Algorithm, pol scheduler.Policy, k int, opt statesp
 	for i, g := range globals {
 		dist[ss.LocalIndex(g)] = ballDist[i]
 	}
+	return dist
+}
+
+// BallVerdictsOver classifies the k-fault convergence properties for every
+// k' in 0..k over an already-built ball closure — no exploration of any
+// kind happens here, so a caller that has the subspace in hand (from
+// BallClosure, or loaded from an on-disk cache) pays only for the verdict
+// scans. localDist is the per-local-state fault-distance vector
+// (BallLocalDistances), taken precomputed so callers that also need it —
+// e.g. for per-distance hitting times — compute it once. A nil subspace
+// (BallClosure's empty-legitimate-set result) yields VacuousVerdicts, so
+// the whole ball pipeline composes without a caller-side guard.
+func BallVerdictsOver(ss *statespace.SubSpace, localDist []int, k int) []KFaultVerdict {
+	if ss == nil {
+		return VacuousVerdicts(k)
+	}
+	sp := FromSpace(ss)
 	canReach := sp.reverseReach()
 	diverging := sp.divergingStates()
 	out := make([]KFaultVerdict, 0, k+1)
 	for kk := 0; kk <= k; kk++ {
-		out = append(out, sp.checkKFaults(kk, dist, canReach, diverging))
+		out = append(out, sp.checkKFaults(kk, localDist, canReach, diverging))
 	}
-	return out, sp, nil
+	return out
+}
+
+// VacuousVerdicts returns the verdicts of an empty legitimate set: every
+// property holds over the empty set of initial configurations, for every
+// k' in 0..k.
+func VacuousVerdicts(k int) []KFaultVerdict {
+	out := make([]KFaultVerdict, k+1)
+	for kk := range out {
+		out[kk] = KFaultVerdict{K: kk, Possible: true, Certain: true}
+	}
+	return out
+}
+
+// BallVerdicts classifies the k-fault convergence properties for every
+// k' in 0..k by frontier exploration: only the distance-≤k ball and its
+// forward closure are ever built — once, via BallClosure — so the cost
+// scales with the ball, not the configuration space. The verdicts are
+// bit-identical to running CheckKFaults over the full space (the ball
+// contains every configuration at distance ≤ k by construction, and every
+// execution from the ball stays inside the explored closure). The subspace
+// is returned for further analysis (e.g. hitting times of the ball states).
+func BallVerdicts(a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) ([]KFaultVerdict, *Space, error) {
+	ss, globals, ballDist, err := BallClosure(a, pol, k, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(globals) == 0 {
+		return VacuousVerdicts(k), nil, nil
+	}
+	return BallVerdictsOver(ss, BallLocalDistances(ss, globals, ballDist), k), FromSpace(ss), nil
 }

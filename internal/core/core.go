@@ -23,6 +23,7 @@ import (
 	"weakstab/internal/markov"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/spacecache"
 	"weakstab/internal/statespace"
 )
 
@@ -97,6 +98,16 @@ type Options struct {
 	MaxStates int64
 	// Workers sets the exploration worker-pool size (0 for NumCPU).
 	Workers int
+	// CacheDir, when non-empty, names an on-disk space cache directory
+	// (internal/spacecache): exploration is skipped when the cache holds
+	// the instance's space, and populates it otherwise. A loaded space is
+	// bit-identical to a built one, so the report is unchanged either way.
+	CacheDir string
+}
+
+// spaceOptions lowers the analysis options to exploration options.
+func (o Options) spaceOptions() statespace.Options {
+	return statespace.Options{MaxStates: o.MaxStates, Workers: o.Workers}
 }
 
 // Analyze classifies the algorithm under the policy. maxStates caps the
@@ -108,9 +119,15 @@ func Analyze(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Repo
 // AnalyzeWith classifies the algorithm under the policy, building the
 // transition system exactly once: the checker consumes its unweighted view
 // and the Markov analysis its weighted view of the same space, and every
-// reachability pass of both shares the space's cached reverse CSR.
+// reachability pass of both shares the space's cached reverse CSR. With
+// Options.CacheDir set, "once" extends across process runs: the explored
+// space is persisted and later invocations load it instead of exploring.
 func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Report, error) {
-	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: opt.MaxStates, Workers: opt.Workers})
+	cache, err := spacecache.Open(opt.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ts, _, err := cache.BuildSpace(a, pol, opt.spaceOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s: %w", a.Name(), err)
 	}
@@ -125,7 +142,11 @@ func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Repo
 // k-fault and unsupportive-environment analyses this enables explore balls
 // of thousands of states inside spaces of millions.
 func AnalyzeFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Configuration, opt Options) (*Report, error) {
-	ss, err := statespace.BuildFromConfigs(a, pol, seeds, statespace.Options{MaxStates: opt.MaxStates, Workers: opt.Workers})
+	cache, err := spacecache.Open(opt.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ss, _, err := cache.BuildSubSpaceFromConfigs(a, pol, seeds, opt.spaceOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s from %d seeds: %w", a.Name(), len(seeds), err)
 	}

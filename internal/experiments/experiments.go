@@ -25,6 +25,12 @@ type Options struct {
 	// Workers sets the state-space exploration worker-pool size
 	// (0 means runtime.NumCPU()).
 	Workers int
+	// CacheDir, when non-empty, names an on-disk space cache directory
+	// (internal/spacecache): experiments that explore overlapping
+	// instances (E12a/E12c share transformed token rings; E18 reruns) load
+	// previously explored spaces instead of rebuilding them. Results are
+	// bit-identical with or without it.
+	CacheDir string
 }
 
 func (o Options) seed() int64 {

@@ -16,6 +16,7 @@ import (
 	"weakstab/internal/algorithms/tokenring"
 	"weakstab/internal/checker"
 	"weakstab/internal/scheduler"
+	"weakstab/internal/spacecache"
 	"weakstab/internal/statespace"
 	"weakstab/internal/transformer"
 )
@@ -48,19 +49,33 @@ func runE18(w io.Writer, opt Options) error {
 		return err
 	}
 	pol := scheduler.CentralPolicy{}
-
-	// Full-space reference verdicts (the classic path).
-	full, err := checker.ExploreWith(inner, pol, 0, opt.Workers)
+	cache, err := spacecache.Open(opt.CacheDir)
 	if err != nil {
 		return err
 	}
+	ssOpt := statespace.Options{Workers: opt.Workers}
+
+	// Full-space reference verdicts (the classic path) — through the cache,
+	// so an E18 rerun loads the space instead of rebuilding it.
+	fullTS, _, err := cache.BuildSpace(inner, pol, ssOpt)
+	if err != nil {
+		return err
+	}
+	full := checker.FromSpace(fullTS)
 	dist := full.DistanceToLegitimate()
 
-	// Ball-seeded frontier verdicts (the reachable-only path).
-	verdicts, ballSp, err := checker.BallVerdicts(inner, pol, maxK, statespace.Options{Workers: opt.Workers})
+	// Ball-seeded frontier verdicts (the reachable-only path): one ball
+	// enumeration, one closure exploration — skipped entirely on a cache
+	// hit — then the verdict scans over the built subspace.
+	ballSS, globals, ballDist, err := checker.BallClosureUsing(checker.BuilderFromCache(cache), inner, pol, maxK, ssOpt)
 	if err != nil {
 		return err
 	}
+	if ballSS == nil {
+		return fmt.Errorf("legitimate set of %s is empty", inner.Name())
+	}
+	verdicts := checker.BallVerdictsOver(ballSS, checker.BallLocalDistances(ballSS, globals, ballDist), maxK)
+	ballSp := checker.FromSpace(ballSS)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "k\tball configs\tpossible\tcertain\tfull-space verdict agrees")
 	for k := 0; k <= maxK; k++ {
@@ -85,13 +100,12 @@ func runE18(w io.Writer, opt Options) error {
 	// path: closure of L under the coin-toss transformer, verified
 	// convergent with probability 1 on the subspace.
 	trans := transformer.New(inner)
-	seeds, _, err := checker.FaultBall(trans, 0, opt.Workers, 0)
+	ss, _, _, err := checker.BallClosureUsing(checker.BuilderFromCache(cache), trans, scheduler.DistributedPolicy{}, 0, ssOpt)
 	if err != nil {
 		return err
 	}
-	ss, err := statespace.BuildFrom(trans, scheduler.DistributedPolicy{}, seeds, statespace.Options{Workers: opt.Workers})
-	if err != nil {
-		return err
+	if ss == nil {
+		return fmt.Errorf("legitimate set of %s is empty", trans.Name())
 	}
 	sub := checker.FromSpace(ss)
 	closure := sub.CheckClosure()

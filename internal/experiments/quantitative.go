@@ -18,6 +18,7 @@ import (
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/sim"
+	"weakstab/internal/spacecache"
 	"weakstab/internal/statespace"
 	"weakstab/internal/transformer"
 )
@@ -120,7 +121,7 @@ func runE12a(w io.Writer, opt Options) error {
 		row := make([]string, 0, len(cells))
 		var rawDist float64
 		for i, cell := range cells {
-			mean, err := meanHittingTime(cell.alg, cell.pol, opt.Workers)
+			mean, err := meanHittingTime(cell.alg, cell.pol, opt)
 			if err != nil {
 				return err
 			}
@@ -157,8 +158,15 @@ func runE12a(w io.Writer, opt Options) error {
 // non-legitimate configurations under the policy's randomized scheduler.
 // The space cap is the engine's index limit: the SCC-condensed sparse
 // solver removed the solver-side ceiling that used to bound this analysis.
-func meanHittingTime(a protocol.Algorithm, pol scheduler.Policy, workers int) (float64, error) {
-	ts, err := statespace.Build(a, pol, statespace.Options{MaxStates: statespace.IndexLimit, Workers: workers})
+// With opt.CacheDir set, the explored space is persisted and reused — the
+// same transformed token rings appear in E12a, E12c and E12d, so a cached
+// sweep explores each instance once across the whole suite.
+func meanHittingTime(a protocol.Algorithm, pol scheduler.Policy, opt Options) (float64, error) {
+	cache, err := spacecache.Open(opt.CacheDir)
+	if err != nil {
+		return 0, err
+	}
+	ts, _, err := cache.BuildSpace(a, pol, statespace.Options{MaxStates: statespace.IndexLimit, Workers: opt.Workers})
 	if err != nil {
 		return 0, err
 	}
@@ -252,7 +260,7 @@ func runE12c(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		tokenMean, err := meanHittingTime(tr, scheduler.DistributedPolicy{}, opt.Workers)
+		tokenMean, err := meanHittingTime(tr, scheduler.DistributedPolicy{}, opt)
 		if err != nil {
 			return err
 		}
@@ -260,7 +268,7 @@ func runE12c(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		spMean, err := meanHittingTime(spTr, scheduler.SynchronousPolicy{}, opt.Workers)
+		spMean, err := meanHittingTime(spTr, scheduler.SynchronousPolicy{}, opt)
 		if err != nil {
 			return err
 		}
@@ -291,7 +299,7 @@ func runE12d(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		transMean, err := meanHittingTime(transformer.New(a), scheduler.DistributedPolicy{}, opt.Workers)
+		transMean, err := meanHittingTime(transformer.New(a), scheduler.DistributedPolicy{}, opt)
 		if err != nil {
 			return err
 		}
@@ -300,7 +308,7 @@ func runE12d(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		hermanMean, err := meanHittingTime(h, scheduler.SynchronousPolicy{}, opt.Workers)
+		hermanMean, err := meanHittingTime(h, scheduler.SynchronousPolicy{}, opt)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,81 @@
+package spacecache
+
+// Cold-vs-warm benchmarks of the space cache on an acceptance-scale
+// instance (tokenring N=11, modulus 3: 3^11 = 177147 configurations,
+// ~10^6 transitions under the central policy). Cold is a full parallel
+// exploration plus the cache write; warm is a pure load. BENCH_pr4.md
+// records representative numbers; CI snapshots them as BENCH_pr4.json.
+
+import (
+	"testing"
+
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
+)
+
+func benchInstance(b *testing.B) *tokenring.Algorithm {
+	b.Helper()
+	a, err := tokenring.NewWithModulus(11, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkSpaceCacheCold measures the miss path: explore + persist.
+func BenchmarkSpaceCacheCold(b *testing.B) {
+	a := benchInstance(b)
+	pol := scheduler.CentralPolicy{}
+	c, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, err := statespace.Build(a, pol, statespace.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.StoreSpace(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpaceCacheWarm measures the hit path: load the persisted space.
+func BenchmarkSpaceCacheWarm(b *testing.B) {
+	a := benchInstance(b)
+	pol := scheduler.CentralPolicy{}
+	c, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := c.BuildSpace(a, pol, statespace.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, ok := c.LoadSpace(a, pol, statespace.Options{})
+		if !ok {
+			b.Fatal("warm load missed")
+		}
+		if sp.States != 177147 {
+			b.Fatalf("loaded %d states", sp.States)
+		}
+	}
+}
+
+// BenchmarkSpaceCacheKey measures the canonical hashing alone (it is on
+// every load path, warm or cold).
+func BenchmarkSpaceCacheKey(b *testing.B) {
+	a := benchInstance(b)
+	pol := scheduler.CentralPolicy{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Key(a, pol) == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

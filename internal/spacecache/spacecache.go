@@ -1,0 +1,247 @@
+// Package spacecache persists explored transition systems on disk so that
+// repeated analyses of the same (algorithm, instance, policy) — stabbench
+// reruns, overlapping experiment instances, k-fault sweeps — skip
+// exploration entirely and load the CSR arrays in milliseconds.
+//
+// The hierarchy verdicts the library computes are pure functions of
+// (algorithm, instance, policy): once a space is explored, every later run
+// over the same triple re-derives byte-identical arrays. The cache
+// therefore keys each file by a canonical hash of that triple — the
+// algorithm's parameterized name, its process count and per-process state
+// domains, the exact communication-graph edge set, and the policy name —
+// plus, for frontier-explored subspaces, a hash of the seed *set* (order-
+// and duplicate-insensitive, matching BuildFrom's dedup semantics). Any
+// semantic change to the instance changes the key, so a stale file is
+// simply never found.
+//
+// Robustness contract: a cache must never produce a wrong answer, only a
+// slower one. Loads that fail for any reason — missing file, truncation,
+// corruption, format-version mismatch, a space larger than the caller's
+// state cap — degrade to a fresh build whose result overwrites the bad
+// entry. Files are written to a temp name and renamed into place, so
+// concurrent or crashed writers leave either the old bytes or the new,
+// never a torn file. A nil *Cache is valid and means "no caching": every
+// Build* method then just explores, which lets callers thread an optional
+// -cache flag through without branching.
+package spacecache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
+)
+
+// Cache is an on-disk store of serialized transition systems. The zero
+// value and the nil pointer are both valid "no caching" caches.
+type Cache struct {
+	dir string
+}
+
+// Open returns a cache rooted at dir, creating the directory if needed.
+// An empty dir returns nil — the no-op cache — so CLI flags thread through
+// unconditionally.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spacecache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory ("" for the no-op cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// canonical renders the cache identity of (algorithm, instance, policy) as
+// a readable string: the format version (so incompatible layouts never
+// share a key), the algorithm's parameterized name, the per-process state
+// domains, the exact edge set of the communication graph (which is what
+// distinguishes two random trees of equal size), and the policy name.
+func canonical(a protocol.Algorithm, pol scheduler.Policy) string {
+	g := a.Graph()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d|alg=%s|n=%d|domains=", statespace.SerialVersion, a.Name(), g.N())
+	for p := 0; p < g.N(); p++ {
+		fmt.Fprintf(&sb, "%d,", a.StateCount(p))
+	}
+	sb.WriteString("|edges=")
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "%d-%d;", e[0], e[1])
+	}
+	fmt.Fprintf(&sb, "|policy=%s", pol.Name())
+	return sb.String()
+}
+
+// Key returns the canonical cache key of a full space: a hex digest of the
+// (algorithm, instance, policy) identity. Two runs constructing the same
+// instance independently produce the same key.
+func Key(a protocol.Algorithm, pol scheduler.Policy) string {
+	sum := sha256.Sum256([]byte(canonical(a, pol)))
+	return hex.EncodeToString(sum[:12])
+}
+
+// SubKey returns the canonical cache key of a frontier-explored subspace:
+// the full-space identity extended with a hash of the seed *set*. Seed
+// order and duplicates do not affect the key, mirroring BuildFrom (which
+// dedups seeds and canonicalizes local ids to ascending-global order, so
+// the built subspace is a pure function of the set).
+func SubKey(a protocol.Algorithm, pol scheduler.Policy, seeds []int64) string {
+	set := slices.Clone(seeds)
+	slices.Sort(set)
+	set = slices.Compact(set)
+	h := sha256.New()
+	h.Write([]byte(canonical(a, pol)))
+	h.Write([]byte("|seeds="))
+	var b [8]byte
+	for _, g := range set {
+		binary.LittleEndian.PutUint64(b[:], uint64(g))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+func (c *Cache) spacePath(key string) string { return filepath.Join(c.dir, key+".space") }
+func (c *Cache) subPath(key string) string   { return filepath.Join(c.dir, key+".subspace") }
+
+// LoadSpace returns the cached full space of (a, pol), or (nil, false) on
+// any miss — no file, or a file that fails validation (truncated,
+// corrupted, wrong version, or beyond opt.MaxStates). A miss is never an
+// error: the caller rebuilds and the rebuild's Store overwrites bad bytes.
+func (c *Cache) LoadSpace(a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options) (*statespace.Space, bool) {
+	if c == nil {
+		return nil, false
+	}
+	f, err := os.Open(c.spacePath(Key(a, pol)))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	// The reader enforces opt.MaxStates up front (a full space spans the
+	// whole index range, so the cap rejects before any byte is decoded).
+	sp, err := statespace.ReadSpace(f, a, pol, opt.Workers, opt.MaxStates)
+	if err != nil {
+		return nil, false
+	}
+	return sp, true
+}
+
+// StoreSpace persists sp under its canonical key, atomically (temp file +
+// rename). A nil cache stores nothing.
+func (c *Cache) StoreSpace(sp *statespace.Space) error {
+	if c == nil {
+		return nil
+	}
+	return c.atomicWrite(c.spacePath(Key(sp.Alg, sp.Pol)), sp)
+}
+
+// LoadSubSpace returns the cached subspace of (a, pol, seed set), or
+// (nil, false) on any miss, with the same degrade-to-rebuild contract as
+// LoadSpace.
+func (c *Cache) LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, bool) {
+	if c == nil {
+		return nil, false
+	}
+	f, err := os.Open(c.subPath(SubKey(a, pol, seeds)))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	// The reader enforces opt.MaxStates at the header, before the arrays
+	// are decoded — an oversized entry costs a 32-byte read, not a full
+	// materialization.
+	ss, err := statespace.ReadSubSpace(f, a, pol, opt.Workers, opt.MaxStates)
+	if err != nil {
+		return nil, false
+	}
+	return ss, true
+}
+
+// StoreSubSpace persists ss under the canonical key of its seed set,
+// atomically. The seeds must be the ones the subspace was built from.
+func (c *Cache) StoreSubSpace(ss *statespace.SubSpace, seeds []int64) error {
+	if c == nil {
+		return nil
+	}
+	return c.atomicWrite(c.subPath(SubKey(ss.Alg, ss.Pol, seeds)), ss)
+}
+
+// BuildSpace is statespace.Build behind the cache: a hit loads the space
+// without touching the algorithm at all; a miss explores and persists the
+// result. hit reports which path ran. A failed store (full or read-only
+// disk) is deliberately not an error — the built space is valid and is
+// returned; the next run simply misses again. The cache never turns a
+// successful analysis into a failure, only a slower one.
+func (c *Cache) BuildSpace(a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options) (sp *statespace.Space, hit bool, err error) {
+	if sp, ok := c.LoadSpace(a, pol, opt); ok {
+		return sp, true, nil
+	}
+	sp, err = statespace.Build(a, pol, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = c.StoreSpace(sp) // best-effort persistence; see the doc comment
+	return sp, false, nil
+}
+
+// BuildSubSpace is statespace.BuildFrom behind the cache, with the same
+// contract as BuildSpace.
+func (c *Cache) BuildSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (ss *statespace.SubSpace, hit bool, err error) {
+	if ss, ok := c.LoadSubSpace(a, pol, seeds, opt); ok {
+		return ss, true, nil
+	}
+	ss, err = statespace.BuildFrom(a, pol, seeds, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = c.StoreSubSpace(ss, seeds) // best-effort persistence
+	return ss, false, nil
+}
+
+// BuildSubSpaceFromConfigs is BuildSubSpace with the seed set given as
+// configurations, validated and encoded by the same shared helper
+// statespace.BuildFromConfigs uses.
+func (c *Cache) BuildSubSpaceFromConfigs(a protocol.Algorithm, pol scheduler.Policy, cfgs []protocol.Configuration, opt statespace.Options) (*statespace.SubSpace, bool, error) {
+	seeds, err := statespace.EncodeConfigs(a, cfgs)
+	if err != nil {
+		return nil, false, err
+	}
+	return c.BuildSubSpace(a, pol, seeds, opt)
+}
+
+// atomicWrite streams the system to a temp file in the cache directory and
+// renames it over the final path, so readers only ever observe complete,
+// checksummed files.
+func (c *Cache) atomicWrite(path string, wt io.WriterTo) error {
+	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("spacecache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := wt.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("spacecache: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("spacecache: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("spacecache: %w", err)
+	}
+	return nil
+}

@@ -91,6 +91,18 @@ func (d *Dedup) Add(g int64) int32 {
 	return id
 }
 
+// NewDedupFromGlobals rebuilds a table over [0, total) whose id order is
+// exactly the given global list (id i -> globals[i]). Deserialization uses
+// it to restore a subspace's local↔global mapping from its persisted
+// Globals section; the list must be duplicate-free.
+func NewDedupFromGlobals(total int64, globals []int64) *Dedup {
+	d := NewDedup(total)
+	for _, g := range globals {
+		d.Add(g)
+	}
+	return d
+}
+
 // Len returns the number of distinct globals added.
 func (d *Dedup) Len() int { return len(d.globals) }
 

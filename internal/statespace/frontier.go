@@ -25,7 +25,6 @@ package statespace
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -180,17 +179,8 @@ func BuildFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Op
 	if err != nil {
 		return nil, fmt.Errorf("statespace: %w", err)
 	}
-	maxStates := opt.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
-	}
-	if maxStates > math.MaxInt32 {
-		maxStates = math.MaxInt32
-	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
+	maxStates := StateCap(opt.MaxStates)
+	workers := resolveWorkers(opt.Workers, math.MaxInt)
 	ss := &SubSpace{
 		Alg:     a,
 		Pol:     pol,
@@ -205,6 +195,7 @@ func BuildFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Op
 		}
 		ss.table.Add(g)
 	}
+	// Inclusive cap: exactly maxStates distinct seeds are admitted.
 	if int64(ss.table.Len()) > maxStates {
 		return nil, fmt.Errorf("statespace: %d seeds exceed the %d-state cap", ss.table.Len(), maxStates)
 	}
@@ -270,8 +261,14 @@ func BuildFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Op
 				for j := 0; j < int(d); j++ {
 					l := ck.local[at]
 					if l < 0 {
+						// Inclusive cap: the maxStates-th discovered state is
+						// admitted; only the one after fails. The Len check
+						// short-circuits first so the re-resolving Lookup
+						// (the parallel-phase id may be stale — an earlier
+						// row of this stitch can have discovered the target)
+						// only runs once the table is full.
 						if int64(ss.table.Len()) >= maxStates && ss.table.Lookup(ck.to[at]) < 0 {
-							return nil, fmt.Errorf("statespace: frontier exploration exceeds %d states", maxStates)
+							return nil, fmt.Errorf("statespace: frontier exploration exceeds the %d-state cap", maxStates)
 						}
 						l = ss.table.Add(ck.to[at])
 					}
@@ -289,9 +286,11 @@ func BuildFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Op
 	return ss, nil
 }
 
-// BuildFromConfigs is BuildFrom with the seed set given as configurations;
-// each is validated against the process state domains before encoding.
-func BuildFromConfigs(a protocol.Algorithm, pol scheduler.Policy, cfgs []protocol.Configuration, opt Options) (*SubSpace, error) {
+// EncodeConfigs validates each configuration against a's process domains
+// and encodes it to its global mixed-radix index under a's canonical
+// encoder — the seed-set preparation shared by BuildFromConfigs and the
+// cached build paths of internal/spacecache.
+func EncodeConfigs(a protocol.Algorithm, cfgs []protocol.Configuration) ([]int64, error) {
 	enc, err := protocol.NewEncoder(a, 0)
 	if err != nil {
 		return nil, fmt.Errorf("statespace: %w", err)
@@ -308,6 +307,16 @@ func BuildFromConfigs(a protocol.Algorithm, pol scheduler.Policy, cfgs []protoco
 			}
 		}
 		seeds[i] = enc.Encode(cfg)
+	}
+	return seeds, nil
+}
+
+// BuildFromConfigs is BuildFrom with the seed set given as configurations;
+// each is validated against the process state domains before encoding.
+func BuildFromConfigs(a protocol.Algorithm, pol scheduler.Policy, cfgs []protocol.Configuration, opt Options) (*SubSpace, error) {
+	seeds, err := EncodeConfigs(a, cfgs)
+	if err != nil {
+		return nil, err
 	}
 	return BuildFrom(a, pol, seeds, opt)
 }

@@ -1,0 +1,537 @@
+// On-disk serialization of explored transition systems. A Space or
+// SubSpace is, at rest, four flat arrays (the CSR triple off/succ/prob plus
+// the legitimacy vector) — and, for a SubSpace, the Globals() vector that
+// ties local ids back to the mixed-radix index range. WriteTo streams them
+// as a versioned little-endian binary: a fixed header (magic, format
+// version, kind, dimensions), length-prefixed sections in a fixed order,
+// and a trailing CRC-64 of everything before it. ReadFrom is the exact
+// inverse and rejects anything it cannot trust: wrong magic or version,
+// kind mismatch, dimension or section-length inconsistencies, truncation,
+// and checksum failures.
+//
+// The format stores only what exploration computed — never the algorithm
+// or policy, which are pure code. A reader therefore binds the arrays to
+// (algorithm, policy) objects supplied by the caller and validates the
+// dimensions against the algorithm's own encoder, so a loaded system is
+// indistinguishable from a freshly built one (bit-equal arrays, identical
+// analyses). Cache keying — deciding *which* file belongs to which
+// (algorithm, instance, policy, seed set) — lives one layer up, in
+// internal/spacecache.
+package statespace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"sync"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// SerialVersion is the on-disk format version written by WriteTo and
+// required by ReadFrom. Bump it on any incompatible layout change; stale
+// cache files then fail the version gate and are rebuilt.
+const SerialVersion = 1
+
+// serialMagic opens every serialized system ("WSSC": weakstab space cache).
+var serialMagic = [4]byte{'W', 'S', 'S', 'C'}
+
+// Kind discriminates the two transition-system layouts in the header.
+const (
+	kindSpace    = 0 // full index range: States == Enc.Total()
+	kindSubSpace = 1 // frontier subspace: + Globals section
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// serialChunk is the element count encoded per buffered write/read. 8 KiB
+// buffers keep the loops in cache while amortizing Write/Read calls.
+const serialChunk = 1 << 10
+
+// crcWriter counts and checksums everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint64
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc64.Update(cw.crc, crcTable, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// crcReader counts and checksums everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint64
+	n   int64
+}
+
+func (cr *crcReader) full(p []byte) error {
+	n, err := io.ReadFull(cr.r, p)
+	cr.crc = crc64.Update(cr.crc, crcTable, p[:n])
+	cr.n += int64(n)
+	return err
+}
+
+// WriteTo implements io.WriterTo: it streams the space in the versioned
+// binary cache format. The byte stream is a pure function of the explored
+// arrays (worker counts, cached reverse views and the algorithm/policy
+// objects are not part of it).
+func (sp *Space) WriteTo(w io.Writer) (int64, error) {
+	return writeSystem(w, kindSpace, sp.Enc.Total(), int64(sp.States),
+		sp.off, sp.succ, sp.prob, sp.Legit, nil)
+}
+
+// WriteTo implements io.WriterTo for a frontier-explored subspace: the
+// Space layout plus the Globals section mapping local ids to mixed-radix
+// indexes.
+func (ss *SubSpace) WriteTo(w io.Writer) (int64, error) {
+	return writeSystem(w, kindSubSpace, ss.Enc.Total(), int64(ss.States),
+		ss.off, ss.succ, ss.prob, ss.Legit, ss.Globals())
+}
+
+func writeSystem(w io.Writer, kind byte, total, states int64,
+	off []int64, succ []int32, prob []float64, legit []bool, globals []int64) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &crcWriter{w: bw}
+
+	var hdr [32]byte
+	copy(hdr[0:4], serialMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], SerialVersion)
+	hdr[6] = kind
+	hdr[7] = 0 // reserved
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(states))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(succ)))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(total))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+
+	if err := writeI64s(cw, off); err != nil {
+		return cw.n, err
+	}
+	if err := writeI32s(cw, succ); err != nil {
+		return cw.n, err
+	}
+	if err := writeF64s(cw, prob); err != nil {
+		return cw.n, err
+	}
+	if err := writeBools(cw, legit); err != nil {
+		return cw.n, err
+	}
+	if kind == kindSubSpace {
+		if err := writeI64s(cw, globals); err != nil {
+			return cw.n, err
+		}
+	}
+
+	// Trailer: CRC-64 of everything above, written outside the checksum.
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], cw.crc)
+	if _, err := bw.Write(sum[:]); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 8, bw.Flush()
+}
+
+func writeCount(cw *crcWriter, n int) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(n))
+	_, err := cw.Write(b[:])
+	return err
+}
+
+func writeI64s(cw *crcWriter, v []int64) error {
+	if err := writeCount(cw, len(v)); err != nil {
+		return err
+	}
+	var buf [serialChunk * 8]byte
+	for len(v) > 0 {
+		c := min(len(v), serialChunk)
+		for i, x := range v[:c] {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(x))
+		}
+		if _, err := cw.Write(buf[:c*8]); err != nil {
+			return err
+		}
+		v = v[c:]
+	}
+	return nil
+}
+
+func writeI32s(cw *crcWriter, v []int32) error {
+	if err := writeCount(cw, len(v)); err != nil {
+		return err
+	}
+	var buf [serialChunk * 4]byte
+	for len(v) > 0 {
+		c := min(len(v), serialChunk)
+		for i, x := range v[:c] {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(x))
+		}
+		if _, err := cw.Write(buf[:c*4]); err != nil {
+			return err
+		}
+		v = v[c:]
+	}
+	return nil
+}
+
+func writeF64s(cw *crcWriter, v []float64) error {
+	if err := writeCount(cw, len(v)); err != nil {
+		return err
+	}
+	var buf [serialChunk * 8]byte
+	for len(v) > 0 {
+		c := min(len(v), serialChunk)
+		for i, x := range v[:c] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+		}
+		if _, err := cw.Write(buf[:c*8]); err != nil {
+			return err
+		}
+		v = v[c:]
+	}
+	return nil
+}
+
+// writeBools bit-packs the legitimacy vector, eight states per byte, LSB
+// first.
+func writeBools(cw *crcWriter, v []bool) error {
+	if err := writeCount(cw, len(v)); err != nil {
+		return err
+	}
+	var buf [serialChunk]byte
+	for len(v) > 0 {
+		c := min(len(v), serialChunk*8)
+		packed := buf[:(c+7)/8]
+		clear(packed)
+		for i, b := range v[:c] {
+			if b {
+				packed[i/8] |= 1 << (i % 8)
+			}
+		}
+		if _, err := cw.Write(packed); err != nil {
+			return err
+		}
+		v = v[c:]
+	}
+	return nil
+}
+
+// serialHeader is the decoded fixed header of a serialized system.
+type serialHeader struct {
+	kind   byte
+	states int64
+	edges  int64
+	total  int64
+}
+
+func readHeader(cr *crcReader, wantKind byte) (serialHeader, error) {
+	var hdr [32]byte
+	if err := cr.full(hdr[:]); err != nil {
+		return serialHeader{}, fmt.Errorf("statespace: reading header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != serialMagic {
+		return serialHeader{}, fmt.Errorf("statespace: bad magic %q (not a serialized space)", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != SerialVersion {
+		return serialHeader{}, fmt.Errorf("statespace: format version %d, want %d", v, SerialVersion)
+	}
+	h := serialHeader{
+		kind:   hdr[6],
+		states: int64(binary.LittleEndian.Uint64(hdr[8:16])),
+		edges:  int64(binary.LittleEndian.Uint64(hdr[16:24])),
+		total:  int64(binary.LittleEndian.Uint64(hdr[24:32])),
+	}
+	if h.kind != wantKind {
+		return serialHeader{}, fmt.Errorf("statespace: serialized kind %d, want %d (full space vs subspace mismatch)", h.kind, wantKind)
+	}
+	// Plausibility bounds: states fit the int32 id range, and a merged CSR
+	// can never hold more than states² distinct transitions (the section
+	// readers additionally grow their arrays incrementally, so even a
+	// header that lies within these bounds cannot force an allocation
+	// larger than the bytes actually present in the stream).
+	if h.states < 0 || h.states > math.MaxInt32 || h.edges < 0 || h.edges > h.states*h.states || h.total < h.states {
+		return serialHeader{}, fmt.Errorf("statespace: implausible dimensions (states=%d edges=%d total=%d)", h.states, h.edges, h.total)
+	}
+	return h, nil
+}
+
+func readCount(cr *crcReader, want int64, section string) error {
+	var b [8]byte
+	if err := cr.full(b[:]); err != nil {
+		return fmt.Errorf("statespace: reading %s length: %w", section, err)
+	}
+	if got := int64(binary.LittleEndian.Uint64(b[:])); got != want {
+		return fmt.Errorf("statespace: %s section has %d entries, want %d", section, got, want)
+	}
+	return nil
+}
+
+// serialPrealloc caps the element count a section reader allocates before
+// any payload byte has been read. Sections at most this long (the common
+// case by orders of magnitude) get one exact allocation; longer ones grow
+// by append as bytes actually arrive — so a corrupt or hostile header
+// claiming a gigantic section cannot force more than ~64 MB of allocation
+// before the stream runs dry and the read fails.
+const serialPrealloc = 1 << 23
+
+func readI64s(cr *crcReader, n int64, section string) ([]int64, error) {
+	if err := readCount(cr, n, section); err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, min(n, serialPrealloc))
+	var buf [serialChunk * 8]byte
+	for int64(len(out)) < n {
+		c := min(n-int64(len(out)), serialChunk)
+		if err := cr.full(buf[:c*8]); err != nil {
+			return nil, fmt.Errorf("statespace: reading %s: %w", section, err)
+		}
+		for i := int64(0); i < c; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+	}
+	return out, nil
+}
+
+func readI32s(cr *crcReader, n int64, section string) ([]int32, error) {
+	if err := readCount(cr, n, section); err != nil {
+		return nil, err
+	}
+	out := make([]int32, 0, min(n, serialPrealloc*2))
+	var buf [serialChunk * 4]byte
+	for int64(len(out)) < n {
+		c := min(n-int64(len(out)), serialChunk)
+		if err := cr.full(buf[:c*4]); err != nil {
+			return nil, fmt.Errorf("statespace: reading %s: %w", section, err)
+		}
+		for i := int64(0); i < c; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+	}
+	return out, nil
+}
+
+func readF64s(cr *crcReader, n int64, section string) ([]float64, error) {
+	if err := readCount(cr, n, section); err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, min(n, serialPrealloc))
+	var buf [serialChunk * 8]byte
+	for int64(len(out)) < n {
+		c := min(n-int64(len(out)), serialChunk)
+		if err := cr.full(buf[:c*8]); err != nil {
+			return nil, fmt.Errorf("statespace: reading %s: %w", section, err)
+		}
+		for i := int64(0); i < c; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+	}
+	return out, nil
+}
+
+func readBools(cr *crcReader, n int64, section string) ([]bool, error) {
+	if err := readCount(cr, n, section); err != nil {
+		return nil, err
+	}
+	out := make([]bool, 0, min(n, serialPrealloc*8))
+	var buf [serialChunk]byte
+	for int64(len(out)) < n {
+		c := min(n-int64(len(out)), serialChunk*8)
+		if err := cr.full(buf[:(c+7)/8]); err != nil {
+			return nil, fmt.Errorf("statespace: reading %s: %w", section, err)
+		}
+		for i := int64(0); i < c; i++ {
+			out = append(out, buf[i/8]&(1<<(i%8)) != 0)
+		}
+	}
+	return out, nil
+}
+
+// readBody reads and validates sections and trailer after the header. The
+// returned arrays satisfy the CSR invariants (off monotone from 0 to edges,
+// succ within [0, states)).
+func readBody(cr *crcReader, br io.Reader, h serialHeader) (off []int64, succ []int32, prob []float64, legit []bool, globals []int64, err error) {
+	if off, err = readI64s(cr, h.states+1, "off"); err != nil {
+		return
+	}
+	if succ, err = readI32s(cr, h.edges, "succ"); err != nil {
+		return
+	}
+	if prob, err = readF64s(cr, h.edges, "prob"); err != nil {
+		return
+	}
+	if legit, err = readBools(cr, h.states, "legit"); err != nil {
+		return
+	}
+	if h.kind == kindSubSpace {
+		if globals, err = readI64s(cr, h.states, "globals"); err != nil {
+			return
+		}
+	}
+
+	// Trailer: the stored CRC (not itself checksummed) must match the
+	// running one. Checked before the structural validation below so a
+	// corrupted file reports corruption, not a confusing shape error.
+	want := cr.crc
+	var sum [8]byte
+	if _, err = io.ReadFull(br, sum[:]); err != nil {
+		err = fmt.Errorf("statespace: reading checksum: %w", err)
+		return
+	}
+	if got := binary.LittleEndian.Uint64(sum[:]); got != want {
+		err = fmt.Errorf("statespace: checksum mismatch (file %#x, computed %#x): corrupted cache file", got, want)
+		return
+	}
+
+	if off[0] != 0 || off[h.states] != h.edges {
+		err = fmt.Errorf("statespace: CSR offsets span [%d,%d], want [0,%d]", off[0], off[h.states], h.edges)
+		return
+	}
+	for s := int64(0); s < h.states; s++ {
+		if off[s] > off[s+1] {
+			err = fmt.Errorf("statespace: CSR offsets not monotone at state %d", s)
+			return
+		}
+	}
+	for _, t := range succ {
+		if int64(t) < 0 || int64(t) >= h.states {
+			err = fmt.Errorf("statespace: successor %d outside [0,%d)", t, h.states)
+			return
+		}
+	}
+	if h.kind == kindSubSpace {
+		prev := int64(-1)
+		for _, g := range globals {
+			if g <= prev || g >= h.total {
+				err = fmt.Errorf("statespace: globals not strictly ascending within [0,%d)", h.total)
+				return
+			}
+			prev = g
+		}
+	}
+	return
+}
+
+// ReadFrom implements io.ReaderFrom: it replaces sp's explored arrays with
+// a stream written by (*Space).WriteTo. The receiver must already be bound
+// to its algorithm, policy and encoder (Alg, Pol, Enc non-nil — see
+// ReadSpace for the usual entry point); the stream's dimensions are
+// validated against the encoder, so a file from a different instance is
+// rejected even before cache-key hygiene.
+func (sp *Space) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	cr := &crcReader{r: br}
+	h, err := readHeader(cr, kindSpace)
+	if err != nil {
+		return cr.n, err
+	}
+	if h.total != sp.Enc.Total() || h.states != sp.Enc.Total() {
+		return cr.n, fmt.Errorf("statespace: serialized space has %d of %d configurations, want the full %d of %s",
+			h.states, h.total, sp.Enc.Total(), sp.Alg.Name())
+	}
+	off, succ, prob, legit, _, err := readBody(cr, br, h)
+	if err != nil {
+		return cr.n + 8, err
+	}
+	sp.States = int(h.states)
+	sp.Legit = legit
+	sp.off, sp.succ, sp.prob = off, succ, prob
+	// The forward CSR changed, so any reverse view cached on this receiver
+	// is stale: reset it so the next Reverse() rebuilds from the loaded
+	// arrays. (ReadFrom must not run concurrently with any use of sp.)
+	sp.revOnce = sync.Once{}
+	sp.rev = Reverse{}
+	return cr.n + 8, nil
+}
+
+// ReadFrom implements io.ReaderFrom for a subspace stream written by
+// (*SubSpace).WriteTo. The receiver must already be bound to its algorithm,
+// policy and encoder; the dedup table is rebuilt from the Globals section
+// (whose canonical ascending order doubles as the local-id order, exactly
+// as BuildFrom leaves it).
+func (ss *SubSpace) ReadFrom(r io.Reader) (int64, error) {
+	return ss.readFromCapped(r, IndexLimit)
+}
+
+// readFromCapped is ReadFrom with a state cap checked right after the
+// header, before any section is materialized — so a caller bounding memory
+// with Options.MaxStates never decodes an oversized cached subspace only
+// to reject it.
+func (ss *SubSpace) readFromCapped(r io.Reader, maxStates int64) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	cr := &crcReader{r: br}
+	h, err := readHeader(cr, kindSubSpace)
+	if err != nil {
+		return cr.n, err
+	}
+	if h.states > maxStates {
+		return cr.n, fmt.Errorf("statespace: serialized subspace has %d states, beyond the %d-state cap", h.states, maxStates)
+	}
+	if h.total != ss.Enc.Total() {
+		return cr.n, fmt.Errorf("statespace: serialized subspace lives in a %d-configuration range, want %d for %s",
+			h.total, ss.Enc.Total(), ss.Alg.Name())
+	}
+	off, succ, prob, legit, globals, err := readBody(cr, br, h)
+	if err != nil {
+		return cr.n + 8, err
+	}
+	ss.States = int(h.states)
+	ss.Legit = legit
+	ss.off, ss.succ, ss.prob = off, succ, prob
+	ss.table = NewDedupFromGlobals(h.total, globals)
+	// Reset the cached reverse view: it described the replaced CSR.
+	ss.revOnce = sync.Once{}
+	ss.rev = Reverse{}
+	return cr.n + 8, nil
+}
+
+// ReadSpace reads a full space serialized by (*Space).WriteTo and binds it
+// to the given algorithm and policy (which the format deliberately does not
+// store — they are code, not data). workers sizes the analysis pools of the
+// loaded space (0 = NumCPU) and maxStates caps it exactly as Options.
+// MaxStates caps a fresh Build (0 = DefaultMaxStates) — a full space always
+// spans the whole index range, so the cap is checked against the encoder
+// before a single byte is read.
+func ReadSpace(r io.Reader, a protocol.Algorithm, pol scheduler.Policy, workers int, maxStates int64) (*Space, error) {
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		return nil, fmt.Errorf("statespace: %w", err)
+	}
+	if enc.Total() > math.MaxInt32 {
+		return nil, fmt.Errorf("statespace: %d configurations exceed the int32 index range", enc.Total())
+	}
+	if enc.Total() > StateCap(maxStates) {
+		return nil, fmt.Errorf("statespace: %d configurations exceed the %d-state cap", enc.Total(), StateCap(maxStates))
+	}
+	sp := &Space{Alg: a, Pol: pol, Enc: enc, Workers: resolveWorkers(workers, int(enc.Total()))}
+	if _, err := sp.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// ReadSubSpace reads a subspace serialized by (*SubSpace).WriteTo and binds
+// it to the given algorithm and policy. workers sizes the analysis pools of
+// the loaded subspace (0 = NumCPU) and maxStates caps its state count
+// exactly as Options.MaxStates caps a fresh BuildFrom (0 =
+// DefaultMaxStates), rejected at the header before the arrays are decoded.
+func ReadSubSpace(r io.Reader, a protocol.Algorithm, pol scheduler.Policy, workers int, maxStates int64) (*SubSpace, error) {
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		return nil, fmt.Errorf("statespace: %w", err)
+	}
+	ss := &SubSpace{Alg: a, Pol: pol, Enc: enc, Workers: resolveWorkers(workers, math.MaxInt)}
+	if _, err := ss.readFromCapped(r, StateCap(maxStates)); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}

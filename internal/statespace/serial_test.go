@@ -1,0 +1,251 @@
+package statespace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/scheduler"
+)
+
+// assertSpaceEqual checks bit-equality of every persisted field.
+func assertSpaceEqual(t *testing.T, want, got *Space) {
+	t.Helper()
+	if want.States != got.States {
+		t.Fatalf("States = %d, want %d", got.States, want.States)
+	}
+	if !slices.Equal(want.Legit, got.Legit) {
+		t.Fatal("Legit vectors differ")
+	}
+	if !slices.Equal(want.off, got.off) {
+		t.Fatal("off arrays differ")
+	}
+	if !slices.Equal(want.succ, got.succ) {
+		t.Fatal("succ arrays differ")
+	}
+	// Equality on float64 is value-semantics; compare raw bits to pin
+	// exact round-tripping.
+	if len(want.prob) != len(got.prob) {
+		t.Fatalf("prob length %d, want %d", len(got.prob), len(want.prob))
+	}
+	for i := range want.prob {
+		if math.Float64bits(want.prob[i]) != math.Float64bits(got.prob[i]) {
+			t.Fatalf("prob[%d] = %x, want %x", i, math.Float64bits(got.prob[i]), math.Float64bits(want.prob[i]))
+		}
+	}
+}
+
+func assertSubSpaceEqual(t *testing.T, want, got *SubSpace) {
+	t.Helper()
+	if want.States != got.States {
+		t.Fatalf("States = %d, want %d", got.States, want.States)
+	}
+	if !slices.Equal(want.Legit, got.Legit) {
+		t.Fatal("Legit vectors differ")
+	}
+	if !slices.Equal(want.off, got.off) {
+		t.Fatal("off arrays differ")
+	}
+	if !slices.Equal(want.succ, got.succ) {
+		t.Fatal("succ arrays differ")
+	}
+	if len(want.prob) != len(got.prob) {
+		t.Fatalf("prob length %d, want %d", len(got.prob), len(want.prob))
+	}
+	for i := range want.prob {
+		if math.Float64bits(want.prob[i]) != math.Float64bits(got.prob[i]) {
+			t.Fatalf("prob[%d] differs", i)
+		}
+	}
+	if !slices.Equal(want.Globals(), got.Globals()) {
+		t.Fatal("Globals vectors differ")
+	}
+	// The rebuilt dedup table must answer lookups exactly like the original.
+	for i, g := range want.Globals() {
+		if got.LocalIndex(g) != int32(i) {
+			t.Fatalf("LocalIndex(%d) = %d, want %d", g, got.LocalIndex(g), i)
+		}
+	}
+}
+
+func TestSpaceRoundTrip(t *testing.T) {
+	for _, tc := range frontierMatrix(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			sp, err := Build(tc.alg, tc.pol, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			n, err := sp.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			got, err := ReadSpace(bytes.NewReader(buf.Bytes()), tc.alg, tc.pol, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSpaceEqual(t, sp, got)
+		})
+	}
+}
+
+func TestSubSpaceRoundTrip(t *testing.T) {
+	for _, tc := range frontierMatrix(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			// Seed with the legitimate set: a nontrivial strict subspace.
+			full, err := Build(tc.alg, tc.pol, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seeds []int64
+			for s, ok := range full.Legit {
+				if ok {
+					seeds = append(seeds, int64(s))
+				}
+			}
+			ss, err := BuildFrom(tc.alg, tc.pol, seeds, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := ss.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadSubSpace(bytes.NewReader(buf.Bytes()), tc.alg, tc.pol, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSubSpaceEqual(t, ss, got)
+		})
+	}
+}
+
+// serializedFixture returns a valid serialized space and its instance.
+func serializedFixture(t *testing.T) ([]byte, *Space) {
+	t.Helper()
+	ring, err := tokenring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Build(ring, scheduler.CentralPolicy{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sp
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	data, sp := serializedFixture(t)
+	// Cut at a spread of prefix lengths: empty, mid-header, each section
+	// boundary neighborhood, and one byte short of complete.
+	cuts := []int{0, 3, 17, 31, 32, 40, len(data) / 3, len(data) / 2, len(data) - 9, len(data) - 1}
+	for _, cut := range cuts {
+		if _, err := ReadSpace(bytes.NewReader(data[:cut]), sp.Alg, sp.Pol, 0, 0); err == nil {
+			t.Fatalf("truncation at %d of %d bytes not rejected", cut, len(data))
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	data, sp := serializedFixture(t)
+	// Flip one byte at a spread of offsets past the header (header
+	// corruption is caught by its own validation; payload corruption must
+	// be caught by the checksum).
+	for _, at := range []int{40, len(data) / 4, len(data) / 2, len(data) - 12} {
+		bad := bytes.Clone(data)
+		bad[at] ^= 0x40
+		if _, err := ReadSpace(bytes.NewReader(bad), sp.Alg, sp.Pol, 0, 0); err == nil {
+			t.Fatalf("corrupted byte at %d not rejected", at)
+		}
+	}
+	// Corrupting the stored checksum itself must also fail.
+	bad := bytes.Clone(data)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := ReadSpace(bytes.NewReader(bad), sp.Alg, sp.Pol, 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatal("corrupted trailer checksum not rejected as a checksum mismatch")
+	}
+}
+
+func TestReadRejectsVersionMismatch(t *testing.T) {
+	data, sp := serializedFixture(t)
+	bad := bytes.Clone(data)
+	binary.LittleEndian.PutUint16(bad[4:6], SerialVersion+1)
+	_, err := ReadSpace(bytes.NewReader(bad), sp.Alg, sp.Pol, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch not rejected, err=%v", err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	data, sp := serializedFixture(t)
+	bad := bytes.Clone(data)
+	bad[0] = 'X'
+	if _, err := ReadSpace(bytes.NewReader(bad), sp.Alg, sp.Pol, 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatal("bad magic not rejected")
+	}
+}
+
+func TestReadRejectsKindMismatch(t *testing.T) {
+	data, sp := serializedFixture(t)
+	if _, err := ReadSubSpace(bytes.NewReader(data), sp.Alg, sp.Pol, 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "kind") {
+		t.Fatal("full-space stream accepted as a subspace")
+	}
+}
+
+func TestReadRejectsWrongInstance(t *testing.T) {
+	data, _ := serializedFixture(t) // tokenring n=5
+	ring6, err := tokenring.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSpace(bytes.NewReader(data), ring6, scheduler.CentralPolicy{}, 0, 0); err == nil {
+		t.Fatal("n=5 stream accepted for an n=6 instance")
+	}
+}
+
+// TestSubSpaceReadAnalysesMatch pins that a loaded subspace is
+// indistinguishable from the built one under the analyses: identical
+// reverse CSR and identical decoded configurations.
+func TestSubSpaceReadAnalysesMatch(t *testing.T) {
+	ring, err := tokenring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := scheduler.DistributedPolicy{}
+	ss, err := BuildFrom(ring, pol, []int64{0, 1, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ss.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSubSpace(bytes.NewReader(buf.Bytes()), ring, pol, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRev, gotRev := ss.Reverse(), got.Reverse()
+	if !reflect.DeepEqual(wantRev, gotRev) {
+		t.Fatal("reverse CSR differs between built and loaded subspace")
+	}
+	for s := 0; s < ss.NumStates(); s++ {
+		if !ss.Config(s).Equal(got.Config(s)) {
+			t.Fatalf("Config(%d) differs", s)
+		}
+	}
+}

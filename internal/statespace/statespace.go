@@ -50,6 +50,34 @@ type Options struct {
 	Workers int
 }
 
+// StateCap resolves the MaxStates option to its effective value, shared by
+// every exploration path (Build, BuildFrom, the checker's fault-ball
+// enumeration): 0 means DefaultMaxStates, and values beyond the int32
+// state-id range clamp to IndexLimit. The cap is inclusive on discovered
+// states: a region of exactly StateCap(m) states builds, and discovering
+// one more fails.
+func StateCap(maxStates int64) int64 {
+	if maxStates <= 0 {
+		return DefaultMaxStates
+	}
+	if maxStates > IndexLimit {
+		return IndexLimit
+	}
+	return maxStates
+}
+
+// resolveWorkers resolves a worker-pool option: 0 means runtime.NumCPU(),
+// and the pool never exceeds limit (the number of parallel work items).
+func resolveWorkers(workers, limit int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > limit {
+		workers = limit
+	}
+	return workers
+}
+
 // Space is the explored transition system: states are configuration
 // indexes under Enc, and the successors of s — deduplicated, sorted
 // ascending, with the transition probabilities of the policy's randomized
@@ -144,10 +172,9 @@ type chunk struct {
 // returns the shared transition system. The result is deterministic and
 // independent of Options.Workers.
 func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, error) {
-	maxStates := opt.MaxStates
-	if maxStates <= 0 {
-		maxStates = DefaultMaxStates
-	}
+	// The cap is inclusive: a space of exactly maxStates configurations
+	// builds (NewEncoder rejects only totals strictly beyond it).
+	maxStates := StateCap(opt.MaxStates)
 	enc, err := protocol.NewEncoder(a, maxStates)
 	if err != nil {
 		return nil, fmt.Errorf("statespace: %w", err)
@@ -156,13 +183,7 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 		return nil, fmt.Errorf("statespace: %d configurations exceed the int32 index range", enc.Total())
 	}
 	total := int(enc.Total())
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > total {
-		workers = total
-	}
+	workers := resolveWorkers(opt.Workers, total)
 	sp := &Space{
 		Alg:     a,
 		Pol:     pol,
