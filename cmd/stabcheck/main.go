@@ -17,17 +17,25 @@
 //
 // The -kfaults verdicts themselves always pay for the fault ball, not the
 // space: the distance-≤k ball is enumerated directly (no transition
-// exploration) and only its forward closure is frontier-explored; the
-// verdicts are bit-identical to the full-space ones. Combining
-// `-reachable -kfaults k` is ball-sized end to end: the single ball
-// enumeration and single closure exploration feed both the classification
-// report (which then quantifies over the ball's closure) and the per-k
-// verdicts.
+// exploration; in closed form — zero full-range passes — when the
+// algorithm implements protocol.LegitEnumerator) and only its forward
+// closure is frontier-explored; the verdicts are bit-identical to the
+// full-space ones. Combining `-reachable -kfaults k` is ball-sized end to
+// end: the single ball enumeration and single closure exploration feed
+// both the classification report (which then quantifies over the ball's
+// closure) and the per-k verdicts.
 //
-// With -cache DIR, explored spaces and subspaces are persisted to (and
-// loaded from) an on-disk cache keyed by (algorithm, instance, policy[,
-// seed set]); a repeated invocation skips exploration entirely and prints
-// a bit-identical report.
+// -kmax K replaces the single radius with an incremental sweep: k walks
+// upward from 0, each radius extending the previous ball and its closure
+// subspace instead of restarting — one ball enumeration and one closure
+// exploration in total — and the walk stops at the smallest k that breaks
+// certain convergence (the largest tolerable fault count), or at K.
+//
+// With -cache DIR, explored spaces, subspaces and ball enumerations are
+// persisted to (and loaded from) an on-disk cache keyed by (algorithm,
+// instance, policy[, seed set]) — balls by (instance, k) alone, since
+// faults know no scheduler; a repeated invocation skips enumeration and
+// exploration entirely and prints a bit-identical report.
 //
 // Examples:
 //
@@ -36,14 +44,17 @@
 //	stabcheck -alg leadertree -n 4 -transform -policy synchronous
 //	stabcheck -alg dijkstra -n 4 -k 4 -policy distributed
 //	stabcheck -alg tokenring -n 14 -reachable -kfaults 2   # ball-sized, end to end
+//	stabcheck -alg tokenring -n 14 -kmax 3                 # smallest breaking k, one incremental pass
 //	stabcheck -alg tokenring -n 10 -reachable              # closure of L
 //	stabcheck -alg tokenring -n 6 -reachable -from 1,0,2,1,0,3
 //	stabcheck -alg tokenring -n 11 -cache ~/.weakstab-cache  # warm runs skip exploration
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -57,42 +68,78 @@ import (
 	"weakstab/internal/statespace"
 )
 
+// errParse marks a flag-parsing failure the FlagSet has already reported
+// (message + usage on stderr), so main exits 1 without printing it twice.
+var errParse = errors.New("flag parsing failed")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errParse) {
+			fmt.Fprintln(os.Stderr, "stabcheck:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flag parsing, mode
+// selection and report printing against an injected writer.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stabcheck", flag.ContinueOnError)
 	var (
-		alg       = flag.String("alg", "tokenring", "algorithm: "+strings.Join(cli.Algorithms(), ", "))
-		n         = flag.Int("n", 5, "number of processes")
-		topology  = flag.String("topology", "chain", "tree topology: chain, star, random, figure2")
-		k         = flag.Int("k", 0, "dijkstra state count / token ring modulus override")
-		transform = flag.Bool("transform", false, "apply the §4 coin-toss transformer")
-		bias      = flag.Float64("bias", 0.5, "transformer coin bias")
-		policy    = flag.String("policy", "central", "scheduler policy: central, distributed, synchronous")
-		seed      = flag.Int64("seed", 1, "seed for random topologies")
-		witness   = flag.Bool("witness", false, "print a worst-case convergence witness path")
-		kfaults   = flag.Int("kfaults", -1, "also analyze convergence within k corrupted processes (k-stabilization lens; explores only the fault ball)")
-		lasso     = flag.Bool("lasso", false, "print the strongly fair diverging lasso and its Gouda-fairness verdict")
-		reachable = flag.Bool("reachable", false, "explore only the subspace reachable from the seed set (-from, default: the legitimate set) instead of the full index range")
-		from      = flag.String("from", "", "seed configurations for -reachable: comma-separated process states, ';' between configurations (e.g. 1,0,2;0,0,0)")
-		maxStates = flag.Int64("max-states", 0, "state space cap (0 = default)")
-		workers   = flag.Int("workers", 0, "exploration worker-pool size (0 = all CPUs)")
-		cacheDir  = flag.String("cache", "", "on-disk space cache directory: repeated runs load the explored space instead of rebuilding it")
+		alg       = fs.String("alg", "tokenring", "algorithm: "+strings.Join(cli.Algorithms(), ", "))
+		n         = fs.Int("n", 5, "number of processes")
+		topology  = fs.String("topology", "chain", "tree topology: chain, star, random, figure2")
+		k         = fs.Int("k", 0, "dijkstra state count / token ring modulus override")
+		transform = fs.Bool("transform", false, "apply the §4 coin-toss transformer")
+		bias      = fs.Float64("bias", 0.5, "transformer coin bias")
+		policy    = fs.String("policy", "central", "scheduler policy: central, distributed, synchronous")
+		seed      = fs.Int64("seed", 1, "seed for random topologies")
+		witness   = fs.Bool("witness", false, "print a worst-case convergence witness path")
+		kfaults   = fs.Int("kfaults", -1, "also analyze convergence within k corrupted processes (k-stabilization lens; explores only the fault ball)")
+		kmax      = fs.Int("kmax", -1, "incremental k-fault sweep: walk k=0..kmax, stopping at the smallest k that breaks certain convergence")
+		lasso     = fs.Bool("lasso", false, "print the strongly fair diverging lasso and its Gouda-fairness verdict")
+		reachable = fs.Bool("reachable", false, "explore only the subspace reachable from the seed set (-from, default: the legitimate set) instead of the full index range")
+		from      = fs.String("from", "", "seed configurations for -reachable: comma-separated process states, ';' between configurations (e.g. 1,0,2;0,0,0)")
+		maxStates = fs.Int64("max-states", 0, "state space cap (0 = default)")
+		workers   = fs.Int("workers", 0, "exploration worker-pool size (0 = all CPUs)")
+		cacheDir  = fs.String("cache", "", "on-disk space cache directory: repeated runs load the explored space instead of rebuilding it")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage printed, exit 0
+		}
+		return errParse
+	}
 
 	spec := cli.Spec{Algorithm: *alg, N: *n, Topology: *topology, K: *k,
 		Transform: *transform, Bias: *bias, Seed: *seed}
 	a, err := spec.Build()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	pol, err := cli.BuildPolicy(*policy)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cache, err := spacecache.Open(*cacheDir)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opt := statespace.Options{MaxStates: *maxStates, Workers: *workers}
+
+	if *kmax >= 0 {
+		switch {
+		case *kfaults >= 0:
+			return fmt.Errorf("use -kfaults K for one radius or -kmax K for the incremental sweep, not both")
+		case *reachable:
+			return fmt.Errorf("-kmax is ball-sized by construction; drop -reachable")
+		case *from != "":
+			return fmt.Errorf("-kmax seeds from the legitimate set; drop -from")
+		case *witness || *lasso:
+			return fmt.Errorf("-kmax prints sweep verdicts only; drop -witness/-lasso or use -kfaults")
+		}
+		return runSweep(out, cache, a, pol, *kmax, opt)
+	}
 
 	// Explore once. With `-reachable -kfaults k` (and no explicit -from)
 	// the one ball closure below is shared end to end: it is the analyzed
@@ -123,22 +170,22 @@ func main() {
 		ts, _, err = cache.BuildSpace(a, pol, opt)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rep, err := core.AnalyzeSpace(ts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(rep)
+	fmt.Fprint(out, rep)
 	if err := rep.CheckHierarchy(); err != nil {
-		fatal(err)
+		return err
 	}
 	if rep.FairLassoFound {
-		fmt.Println("  note: a strongly fair diverging execution exists — not self-stabilizing even under the strongly fair scheduler")
+		fmt.Fprintln(out, "  note: a strongly fair diverging execution exists — not self-stabilizing even under the strongly fair scheduler")
 	}
 	sp := checker.FromSpace(ts)
 	if *witness {
-		printWitness(sp)
+		printWitness(out, sp)
 	}
 	if *kfaults >= 0 {
 		ss, globals, dist := ballSS, ballGlobals, ballDist
@@ -147,39 +194,72 @@ func main() {
 			// runs exactly once, for the verdicts only.
 			ss, globals, dist, err = exploreBall(cache, a, pol, *kfaults, opt)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		// A nil subspace (empty legitimate set) yields vacuous verdicts.
 		verdicts := checker.BallVerdictsOver(ss, checker.BallLocalDistances(ss, globals, dist), *kfaults)
 		for _, v := range verdicts {
-			fmt.Printf("  k=%d faults: %d configurations, possible=%v certain=%v\n",
+			fmt.Fprintf(out, "  k=%d faults: %d configurations, possible=%v certain=%v\n",
 				v.K, v.Configs, v.Possible, v.Certain)
 		}
 		if ss != nil {
-			fmt.Printf("  (ball closure: %d of %d configurations explored)\n",
+			fmt.Fprintf(out, "  (ball closure: %d of %d configurations explored)\n",
 				ss.NumStates(), ss.TotalConfigs())
 		}
 	}
 	if *lasso {
 		l := sp.FindStronglyFairLasso()
 		if !l.Found {
-			fmt.Println("  no strongly fair diverging lasso found")
+			fmt.Fprintln(out, "  no strongly fair diverging lasso found")
 		} else {
-			fmt.Printf("  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
+			fmt.Fprintf(out, "  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
 				len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
 		}
 	}
+	return nil
+}
+
+// runSweep is the -kmax mode: the incremental k-fault walk, printing one
+// verdict line per radius and the smallest convergence-breaking k. The
+// sweep pays for one ball enumeration and one closure exploration in
+// total — and with a warm cache, for neither.
+func runSweep(out io.Writer, cache *spacecache.Cache, a protocol.Algorithm, pol scheduler.Policy, kmax int, opt statespace.Options) error {
+	res, err := checker.SweepKFaults(checker.CacheSources(cache), a, pol, kmax, opt, true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "incremental k-fault sweep of %s under %s scheduler (k = 0..%d)\n",
+		a.Name(), pol.Name(), kmax)
+	for _, v := range res.Verdicts {
+		fmt.Fprintf(out, "  k=%d faults: %d configurations, possible=%v certain=%v\n",
+			v.K, v.Configs, v.Possible, v.Certain)
+	}
+	if res.BreaksCertainAt >= 0 {
+		fmt.Fprintf(out, "  smallest k breaking certain convergence: %d (counterexample %v)\n",
+			res.BreaksCertainAt, res.Verdicts[res.BreaksCertainAt].Counterexample)
+	} else {
+		fmt.Fprintf(out, "  no k <= %d breaks certain convergence\n", kmax)
+	}
+	if res.BreaksPossibleAt >= 0 {
+		fmt.Fprintf(out, "  smallest k breaking possible convergence: %d\n", res.BreaksPossibleAt)
+	}
+	if res.Sub != nil {
+		fmt.Fprintf(out, "  (ball closure: %d of %d configurations explored, incrementally)\n",
+			res.Sub.NumStates(), res.Sub.TotalConfigs())
+	}
+	return nil
 }
 
 // exploreBall enumerates the distance-≤k fault ball and explores its
-// forward closure — through the cache, so a warm run loads the closure
-// subspace instead of frontier-exploring it. The ball enumeration itself
-// (a legitimacy scan plus mutation BFS, no transition exploration) always
-// runs: it is what produces the seed set the cache key hashes. A nil
-// subspace with nil error means the legitimate set is empty.
+// forward closure — through the cache, so a warm run loads both the ball
+// (under its (instance, k) key) and the closure subspace, performing zero
+// full-range passes and zero exploration. Cold, the ball enumeration
+// itself skips the legitimacy scan whenever the algorithm enumerates L in
+// closed form. A nil subspace with nil error means the legitimate set is
+// empty.
 func exploreBall(cache *spacecache.Cache, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
-	return checker.BallClosureUsing(checker.BuilderFromCache(cache), a, pol, k, opt)
+	return checker.BallClosureWith(checker.CacheSources(cache), a, pol, k, opt)
 }
 
 // parseSeeds parses "1,0,2;0,0,0" into configurations of n states.
@@ -207,22 +287,17 @@ func parseSeeds(s string, n int) ([]protocol.Configuration, error) {
 // farthest from L (or reports the first configuration with none). One
 // backward BFS from L prices every state's distance; the worst witness is
 // reconstructed from that single pass.
-func printWitness(sp *checker.Space) {
+func printWitness(out io.Writer, sp *checker.Space) {
 	path, stuck := sp.WorstCaseWitness()
 	if stuck != nil {
-		fmt.Printf("  no convergence path from %v\n", stuck)
+		fmt.Fprintf(out, "  no convergence path from %v\n", stuck)
 		return
 	}
 	if len(path) == 0 {
 		return
 	}
-	fmt.Printf("  worst-case witness (%d steps):\n", len(path)-1)
+	fmt.Fprintf(out, "  worst-case witness (%d steps):\n", len(path)-1)
 	for _, cfg := range path {
-		fmt.Printf("    %v\n", cfg)
+		fmt.Fprintf(out, "    %v\n", cfg)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "stabcheck:", err)
-	os.Exit(1)
 }

@@ -1,10 +1,12 @@
 // How many faults can the system absorb? The k-stabilization lens from the
 // paper's related work, computed exactly — and paid for at ball size, not
-// space size: the distance-≤k fault ball is enumerated directly, only its
-// forward closure is frontier-explored (once — checker.BallClosure), and
-// the checker and Markov analyses run subspace-native over that closure.
-// With -cache DIR the closure subspace is persisted, so a rerun skips even
-// the frontier exploration and loads it from disk.
+// space size: the legitimate set is enumerated in closed form (no pass
+// over the configuration space), the distance-≤k balls grow incrementally
+// (each radius extends the previous ball and its explored closure —
+// checker.SweepKFaults), and the checker and Markov analyses run
+// subspace-native over the final closure. With -cache DIR the per-k balls
+// and closure subspaces are persisted, so a rerun loads everything from
+// disk and explores nothing.
 package main
 
 import (
@@ -15,7 +17,6 @@ import (
 	"weakstab"
 	"weakstab/internal/checker"
 	"weakstab/internal/markov"
-	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/spacecache"
 	"weakstab/internal/statespace"
@@ -32,28 +33,23 @@ func main() {
 	pol := scheduler.CentralPolicy{}
 	const maxFaults = 2
 
-	// Enumerate the fault ball (no transition exploration), then explore
-	// only its forward closure — exactly once. The one subspace feeds both
-	// the checker (per-ball verdicts) and the exact Markov recovery times.
+	// One incremental sweep: the k=0 ball is the closed-form legitimate
+	// set, each further radius adds one mutation shell and explores only
+	// the closure states not already known. The final subspace feeds both
+	// the per-k verdicts and the exact Markov recovery times.
 	cache, err := spacecache.Open(*cacheDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var hit bool
-	ss, globals, dist, err := checker.BallClosureUsing(
-		func(a protocol.Algorithm, p scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
-			built, h, err := cache.BuildSubSpace(a, p, seeds, opt)
-			hit = h
-			return built, err
-		}, alg, pol, maxFaults, statespace.Options{})
+	res, err := checker.SweepKFaults(checker.CacheSources(cache), alg, pol, maxFaults, statespace.Options{}, false)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ss := res.Sub
 	if ss == nil {
 		log.Fatal("legitimate set is empty; nothing to analyze")
 	}
-	localDist := checker.BallLocalDistances(ss, globals, dist)
-	verdicts := checker.BallVerdictsOver(ss, localDist, maxFaults)
+	localDist := checker.BallLocalDistances(ss, res.Globals, res.Dist)
 
 	chain, err := markov.FromSpace(ss)
 	if err != nil {
@@ -65,14 +61,18 @@ func main() {
 	}
 
 	fmt.Println("token ring N=6 under the central scheduler:")
-	fmt.Printf("(explored %d of %d configurations — the distance-≤%d ball and its closure)\n",
+	fmt.Printf("(explored %d of %d configurations — the distance-≤%d ball and its closure, grown incrementally)\n",
 		ss.NumStates(), ss.TotalConfigs(), maxFaults)
-	if hit {
-		fmt.Println("(closure loaded from the space cache — no exploration this run)")
+	warm := true
+	for _, hit := range res.CacheHits {
+		warm = warm && hit
+	}
+	if warm {
+		fmt.Println("(balls and closures loaded from the space cache — no exploration this run)")
 	}
 	fmt.Println("k  configs  deterministic-recovery  E[recovery | k faults]")
 	for k := 0; k <= maxFaults; k++ {
-		v := verdicts[k]
+		v := res.Verdicts[k]
 		count, sum := 0, 0.0
 		for s := 0; s < ss.NumStates(); s++ {
 			if localDist[s] == k {

@@ -34,8 +34,9 @@ type Algorithm struct {
 }
 
 var (
-	_ protocol.Algorithm     = (*Algorithm)(nil)
-	_ protocol.Deterministic = (*Algorithm)(nil)
+	_ protocol.Algorithm       = (*Algorithm)(nil)
+	_ protocol.Deterministic   = (*Algorithm)(nil)
+	_ protocol.LegitEnumerator = (*Algorithm)(nil)
 )
 
 // New returns the K-state ring on n >= 3 processes with k states per
@@ -109,6 +110,45 @@ func (a *Algorithm) DeterministicExecute(cfg protocol.Configuration, p, _ int) i
 
 // ActionName implements protocol.Algorithm.
 func (a *Algorithm) ActionName(int) string { return "move" }
+
+// EnumerateLegitimate implements protocol.LegitEnumerator: the legitimate
+// set in closed form, without scanning the k^n index range. Exactly one
+// privilege forces one of two shapes: all processes equal (only the root's
+// guard S_0 = S_{n-1} fires — k configurations), or a single break at some
+// p ≥ 1 splitting the ring into a prefix of value v and a suffix of value
+// w ≠ v (only p's guard S_p ≠ S_{p-1} fires, and the root stays quiet
+// because S_0 = v ≠ w = S_{n-1}) — (n-1)·k·(k-1) configurations. The
+// characterization is purely combinatorial, so it holds for the k < n
+// ablation instances too. The yielded slice is reused between calls.
+func (a *Algorithm) EnumerateLegitimate(yield func(protocol.Configuration) bool) {
+	cfg := make(protocol.Configuration, a.n)
+	for v := 0; v < a.k; v++ {
+		for p := range cfg {
+			cfg[p] = v
+		}
+		if !yield(cfg) {
+			return
+		}
+	}
+	for p := 1; p < a.n; p++ {
+		for v := 0; v < a.k; v++ {
+			for w := 0; w < a.k; w++ {
+				if w == v {
+					continue
+				}
+				for i := 0; i < p; i++ {
+					cfg[i] = v
+				}
+				for i := p; i < a.n; i++ {
+					cfg[i] = w
+				}
+				if !yield(cfg) {
+					return
+				}
+			}
+		}
+	}
+}
 
 // Legitimate implements protocol.Algorithm: exactly one privilege.
 func (a *Algorithm) Legitimate(cfg protocol.Configuration) bool {

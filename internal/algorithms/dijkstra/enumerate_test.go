@@ -1,0 +1,78 @@
+package dijkstra
+
+import (
+	"testing"
+
+	"weakstab/internal/protocol"
+)
+
+// TestEnumerateLegitimateMatchesScan pins the closed-form legitimate set
+// bit-equal to the definitional legitimacy scan — across ring sizes and
+// state counts, including the k < n ablation instances (the shape
+// characterization is purely combinatorial, so it holds there too).
+func TestEnumerateLegitimateMatchesScan(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{3, 3}, {3, 4}, {4, 4}, {4, 5}, {5, 5},
+		{4, 2}, {5, 3}, // ablation: k < n
+	}
+	for _, tc := range cases {
+		a, err := New(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := protocol.NewEncoder(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int64]bool{}
+		cfg := make(protocol.Configuration, tc.n)
+		for g := int64(0); g < enc.Total(); g++ {
+			cfg = enc.Decode(g, cfg)
+			if a.Legitimate(cfg) {
+				want[g] = true
+			}
+		}
+		got := map[int64]bool{}
+		a.EnumerateLegitimate(func(c protocol.Configuration) bool {
+			if !a.Legitimate(c) {
+				t.Fatalf("n=%d k=%d: enumerated illegitimate configuration %v", tc.n, tc.k, c)
+			}
+			g := enc.Encode(c)
+			if got[g] {
+				t.Fatalf("n=%d k=%d: configuration %v enumerated twice", tc.n, tc.k, c)
+			}
+			got[g] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d k=%d: enumerated %d configurations, scan found %d", tc.n, tc.k, len(got), len(want))
+		}
+		for g := range want {
+			if !got[g] {
+				t.Fatalf("n=%d k=%d: legitimate configuration %v missing from enumeration", tc.n, tc.k, enc.Decode(g, nil))
+			}
+		}
+		// Closed-form size: k all-equal shapes plus (n-1)·k·(k-1) split
+		// shapes.
+		if wantSize := tc.k + (tc.n-1)*tc.k*(tc.k-1); len(got) != wantSize {
+			t.Fatalf("n=%d k=%d: |L| = %d, closed form predicts %d", tc.n, tc.k, len(got), wantSize)
+		}
+	}
+}
+
+// TestEnumerateLegitimateEarlyStop pins the iterator contract: a false
+// yield stops the enumeration immediately.
+func TestEnumerateLegitimateEarlyStop(t *testing.T) {
+	a, err := New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	a.EnumerateLegitimate(func(protocol.Configuration) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("enumeration continued %d yields past a false return", calls)
+	}
+}

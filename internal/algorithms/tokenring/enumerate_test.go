@@ -1,0 +1,84 @@
+package tokenring
+
+import (
+	"testing"
+
+	"weakstab/internal/protocol"
+)
+
+// TestEnumerateLegitimateMatchesScan pins the closed-form legitimate set
+// bit-equal to the definitional legitimacy scan: the enumeration yields
+// exactly the configurations Legitimate accepts — across ring sizes and
+// moduli, including the Lemma-4 ablation (m divides n) where L is empty.
+func TestEnumerateLegitimateMatchesScan(t *testing.T) {
+	cases := []struct{ n, m int }{
+		{3, MN(3)}, {4, MN(4)}, {5, MN(5)}, {6, MN(6)}, {7, MN(7)},
+		{4, 2}, // ablation: m | n, L must be empty
+		{6, 3}, // ablation
+		{5, 4}, // non-canonical but coprime-free modulus
+		{6, 5},
+	}
+	for _, tc := range cases {
+		a, err := NewWithModulus(tc.n, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := protocol.NewEncoder(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int64]bool{}
+		cfg := make(protocol.Configuration, tc.n)
+		for g := int64(0); g < enc.Total(); g++ {
+			cfg = enc.Decode(g, cfg)
+			if a.Legitimate(cfg) {
+				want[g] = true
+			}
+		}
+		got := map[int64]bool{}
+		a.EnumerateLegitimate(func(c protocol.Configuration) bool {
+			if !a.Legitimate(c) {
+				t.Fatalf("n=%d m=%d: enumerated illegitimate configuration %v", tc.n, tc.m, c)
+			}
+			g := enc.Encode(c)
+			if got[g] {
+				t.Fatalf("n=%d m=%d: configuration %v enumerated twice", tc.n, tc.m, c)
+			}
+			got[g] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d m=%d: enumerated %d configurations, scan found %d", tc.n, tc.m, len(got), len(want))
+		}
+		for g := range want {
+			if !got[g] {
+				t.Fatalf("n=%d m=%d: legitimate configuration %v missing from enumeration", tc.n, tc.m, enc.Decode(g, nil))
+			}
+		}
+		// Closed-form size: n·m single-token configurations, none when m | n.
+		wantSize := tc.n * tc.m
+		if tc.n%tc.m == 0 {
+			wantSize = 0
+		}
+		if len(got) != wantSize {
+			t.Fatalf("n=%d m=%d: |L| = %d, closed form predicts %d", tc.n, tc.m, len(got), wantSize)
+		}
+	}
+}
+
+// TestEnumerateLegitimateEarlyStop pins the iterator contract: a false
+// yield stops the enumeration immediately.
+func TestEnumerateLegitimateEarlyStop(t *testing.T) {
+	a, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	a.EnumerateLegitimate(func(protocol.Configuration) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("enumeration continued %d yields past a false return", calls)
+	}
+}

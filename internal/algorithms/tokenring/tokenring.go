@@ -40,8 +40,9 @@ type Algorithm struct {
 }
 
 var (
-	_ protocol.Algorithm     = (*Algorithm)(nil)
-	_ protocol.Deterministic = (*Algorithm)(nil)
+	_ protocol.Algorithm       = (*Algorithm)(nil)
+	_ protocol.Deterministic   = (*Algorithm)(nil)
+	_ protocol.LegitEnumerator = (*Algorithm)(nil)
 )
 
 // MN returns the smallest integer >= 2 that does not divide n. This is the
@@ -150,6 +151,34 @@ func (a *Algorithm) Legitimate(cfg protocol.Configuration) bool {
 		}
 	}
 	return count == 1
+}
+
+// EnumerateLegitimate implements protocol.LegitEnumerator: the legitimate
+// set in closed form, without scanning the m^n index range. A single-token
+// configuration is determined by its token holder p and the counter value v
+// there: the consistency dt_q = dt_Pred(q)+1 (mod m) must hold at every
+// q ≠ p, so dt increases by one along the ring starting from dt_p = v, and
+// p itself violates it precisely because m does not divide n. Conversely,
+// when m divides n that chain closes token-free — summing the consistency
+// constraints around the ring shows a single token requires n ≢ 0 (mod m)
+// — so L is empty and nothing is yielded (the Lemma 4 ablation case).
+// |L| = n·m otherwise, with every (p, v) pair yielding a distinct
+// configuration. The yielded slice is reused between calls.
+func (a *Algorithm) EnumerateLegitimate(yield func(protocol.Configuration) bool) {
+	if a.n%a.m == 0 {
+		return
+	}
+	cfg := make(protocol.Configuration, a.n)
+	for p := 0; p < a.n; p++ {
+		for v := 0; v < a.m; v++ {
+			for j := 0; j < a.n; j++ {
+				cfg[(p+j)%a.n] = (v + j) % a.m
+			}
+			if !yield(cfg) {
+				return
+			}
+		}
+	}
 }
 
 // LegitimateWithTokenAt returns the configuration in which dt increases by

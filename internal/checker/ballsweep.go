@@ -1,0 +1,550 @@
+package checker
+
+// The incremental k-fault machinery. A distance-(k+1) fault ball is the
+// distance-k ball plus one mutation shell, and its forward closure extends
+// the k closure — so a sweep over k = 0..kmax should pay for ONE ball
+// enumeration and ONE closure exploration, not kmax of each. ballGrower
+// keeps the mutation BFS resumable (grow one shell at a time), BallSweep
+// pairs it with a resumable statespace.Builder for the closure, and
+// SweepKFaults drives the walk upward — sealing a canonical subspace and
+// classifying the k-fault verdict at every radius, stopping early at the
+// smallest k that breaks convergence when asked. Every sealed snapshot is
+// bit-identical to the from-scratch FaultBall/BallClosure at that k
+// (pinned by the parity tests), so incremental is purely a cost saving.
+//
+// Sources injects the on-disk persistence (internal/spacecache) without a
+// package dependency: the ball enumeration persists under an (instance, k)
+// key and the sealed closures under their seed-set keys, so a warm sweep
+// is O(ball) end to end — zero legitimacy scans, zero exploration.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
+)
+
+// ballGrower is the resumable distance-ball enumeration: the legitimate
+// seed set plus one mutation shell per grow call. Ids are assigned in
+// discovery (= BFS) order, so the aligned distances are exact.
+type ballGrower struct {
+	a         protocol.Algorithm
+	enc       *protocol.Encoder
+	maxStates int64
+	k         int // current radius: dist values span [0, k]
+	ball      *statespace.Dedup
+	dist      []int // aligned with ball ids
+	cfg       protocol.Configuration
+}
+
+// newBallGrower returns the radius-0 ball (the legitimate set itself),
+// seeded from the algorithm's closed-form enumeration when it implements
+// protocol.LegitEnumerator and from a parallel legitimacy scan of the
+// index range otherwise.
+func newBallGrower(a protocol.Algorithm, workers int, maxStates int64) (*ballGrower, error) {
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		return nil, fmt.Errorf("checker: %w", err)
+	}
+	b := &ballGrower{
+		a:         a,
+		enc:       enc,
+		maxStates: statespace.StateCap(maxStates),
+		ball:      statespace.NewDedup(enc.Total()),
+		cfg:       make(protocol.Configuration, a.Graph().N()),
+	}
+	if le, ok := a.(protocol.LegitEnumerator); ok {
+		err = b.seedEnumerated(le)
+	} else {
+		err = b.seedScan(workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Inclusive cap: a legitimate set of exactly maxStates is admitted,
+	// matching the seed admission of statespace.BuildFrom.
+	if int64(b.ball.Len()) > b.maxStates {
+		return nil, fmt.Errorf("checker: legitimate set of %d configurations exceeds the %d-state cap", b.ball.Len(), b.maxStates)
+	}
+	return b, nil
+}
+
+// resumeBallGrower rebuilds a grower from a previously produced ball
+// (globals with aligned distances, any order) at radius k — the warm-cache
+// resume path. The inputs are not aliased.
+func resumeBallGrower(a protocol.Algorithm, k int, globals []int64, dist []int, maxStates int64) (*ballGrower, error) {
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		return nil, fmt.Errorf("checker: %w", err)
+	}
+	b := &ballGrower{
+		a:         a,
+		enc:       enc,
+		maxStates: statespace.StateCap(maxStates),
+		k:         k,
+		ball:      statespace.NewDedupFromGlobals(enc.Total(), globals),
+		dist:      append([]int(nil), dist...),
+		cfg:       make(protocol.Configuration, a.Graph().N()),
+	}
+	if int64(b.ball.Len()) > b.maxStates {
+		return nil, fmt.Errorf("checker: resumed distance-%d ball of %d configurations exceeds the %d-state cap", k, b.ball.Len(), b.maxStates)
+	}
+	return b, nil
+}
+
+// seedEnumerated admits the closed-form legitimate set — no index-range
+// pass of any kind. Configurations are validated against the process
+// domains so a misbehaving enumerator yields a clean error, and duplicates
+// are tolerated (the dedup absorbs them).
+func (b *ballGrower) seedEnumerated(le protocol.LegitEnumerator) error {
+	n := b.a.Graph().N()
+	var bad error
+	le.EnumerateLegitimate(func(cfg protocol.Configuration) bool {
+		if len(cfg) != n {
+			bad = fmt.Errorf("checker: %s enumerated a configuration of %d process states, want %d", b.a.Name(), len(cfg), n)
+			return false
+		}
+		for p, v := range cfg {
+			if v < 0 || v >= b.a.StateCount(p) {
+				bad = fmt.Errorf("checker: %s enumerated state %d out of domain [0,%d) at p=%d", b.a.Name(), v, b.a.StateCount(p), p)
+				return false
+			}
+		}
+		if id := b.ball.Add(b.enc.Encode(cfg)); int(id) == len(b.dist) {
+			b.dist = append(b.dist, 0)
+		}
+		return true
+	})
+	return bad
+}
+
+// seedScan admits the legitimate set by a parallel legitimacy scan:
+// per-chunk odometer decode, chunks stitched in index order so the seed
+// enumeration is deterministic and already ascending. The grain grows with
+// the range so the chunk-header array stays bounded on huge index ranges.
+func (b *ballGrower) seedScan(workers int) error {
+	total := b.enc.Total()
+	if total > int64(math.MaxInt) {
+		return fmt.Errorf("checker: %d configurations exceed the platform index range", total)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	n := b.a.Graph().N()
+	grain := int64(1 << 12)
+	if c := total / int64(workers*8); c > grain {
+		grain = c
+	}
+	numChunks := (total + grain - 1) / grain
+	perChunk := make([][]int64, numChunks)
+	statespace.ForRanges(int(total), workers, int(grain), func(lo, hi int) bool {
+		var found []int64
+		cfg := make(protocol.Configuration, n)
+		for g := int64(lo); g < int64(hi); g++ {
+			if g == int64(lo) {
+				cfg = b.enc.Decode(g, cfg)
+			} else {
+				b.enc.DecodeNext(cfg)
+			}
+			if b.a.Legitimate(cfg) {
+				found = append(found, g)
+			}
+		}
+		perChunk[int64(lo)/grain] = found
+		return true
+	})
+	for _, found := range perChunk {
+		for _, g := range found {
+			b.ball.Add(g)
+			b.dist = append(b.dist, 0)
+		}
+	}
+	return nil
+}
+
+// grow expands the ball by one mutation shell: every configuration at
+// distance exactly k spawns its single-process mutations, and the new ones
+// enter at distance k+1.
+func (b *ballGrower) grow() error {
+	n := b.a.Graph().N()
+	end := b.ball.Len() // new entries land at dist k+1; don't re-expand them
+	for i := 0; i < end; i++ {
+		if b.dist[i] != b.k {
+			continue
+		}
+		g := b.ball.Globals()[i]
+		b.cfg = b.enc.Decode(g, b.cfg)
+		for p := 0; p < n; p++ {
+			orig := b.cfg[p]
+			w := b.enc.Weight(p)
+			for v := 0; v < b.a.StateCount(p); v++ {
+				if v == orig {
+					continue
+				}
+				ng := g + int64(v-orig)*w
+				if b.ball.Lookup(ng) < 0 {
+					// Inclusive cap: the maxStates-th discovered state is
+					// admitted; only the one after fails — the same
+					// semantics as the frontier engine's discovery cap.
+					if int64(b.ball.Len()) >= b.maxStates {
+						return fmt.Errorf("checker: distance-%d fault ball exceeds the %d-state cap", b.k+1, b.maxStates)
+					}
+					b.ball.Add(ng)
+					b.dist = append(b.dist, b.k+1)
+				}
+			}
+		}
+	}
+	b.k++
+	return nil
+}
+
+func (b *ballGrower) growTo(k int) error {
+	for b.k < k {
+		if err := b.grow(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sorted returns the ball in ascending-global order with aligned
+// distances — the canonical form every consumer (seed sets, cache files,
+// local-distance mapping) shares. The returned slices are fresh.
+func (b *ballGrower) sorted() ([]int64, []int) {
+	globals := b.ball.Globals()
+	order := make([]int, len(globals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return globals[order[i]] < globals[order[j]] })
+	outG := make([]int64, len(order))
+	outD := make([]int, len(order))
+	for i, o := range order {
+		outG[i] = globals[o]
+		outD[i] = b.dist[o]
+	}
+	return outG, outD
+}
+
+// BallSweep is a resumable k-fault sweep: the fault ball and its forward
+// closure, both grown incrementally. Grow extends the ball by one mutation
+// shell; Seal explores exactly the closure states not yet discovered and
+// snapshots a canonical subspace plus the sorted ball — bit-identical to
+// the from-scratch FaultBall + BallClosure at the current radius. A k+1
+// sweep therefore extends the k ball and its subspace instead of
+// restarting.
+type BallSweep struct {
+	a       protocol.Algorithm
+	pol     scheduler.Policy
+	opt     statespace.Options
+	ball    *ballGrower
+	builder *statespace.Builder // lazily created at first Seal
+}
+
+// NewBallSweep returns the radius-0 sweep: the ball is the legitimate set
+// itself, enumerated in closed form when a implements
+// protocol.LegitEnumerator and by a legitimacy scan otherwise. opt has
+// BallClosure's semantics (MaxStates caps ball and closure alike; results
+// are independent of Workers).
+func NewBallSweep(a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options) (*BallSweep, error) {
+	ball, err := newBallGrower(a, opt.Workers, opt.MaxStates)
+	if err != nil {
+		return nil, err
+	}
+	return &BallSweep{a: a, pol: pol, opt: opt, ball: ball}, nil
+}
+
+// ResumeBallSweep rebuilds a sweep at radius k from a previously produced
+// ball (globals and aligned distances, as FaultBall or a cache entry
+// returns them) and, optionally, its sealed closure subspace — the
+// warm-cache resume path. ss may be nil: the closure is then explored from
+// the ball at the next Seal. ss is deep-copied, never aliased or mutated.
+func ResumeBallSweep(a protocol.Algorithm, pol scheduler.Policy, k int, globals []int64, dist []int, ss *statespace.SubSpace, opt statespace.Options) (*BallSweep, error) {
+	if len(globals) != len(dist) {
+		return nil, fmt.Errorf("checker: ball of %d globals with %d distances", len(globals), len(dist))
+	}
+	ball, err := resumeBallGrower(a, k, globals, dist, opt.MaxStates)
+	if err != nil {
+		return nil, err
+	}
+	s := &BallSweep{a: a, pol: pol, opt: opt, ball: ball}
+	if ss != nil {
+		if s.builder, err = statespace.ResumeFrom(ss, opt); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// K returns the current ball radius.
+func (s *BallSweep) K() int { return s.ball.k }
+
+// BallSize returns the number of configurations in the current ball.
+func (s *BallSweep) BallSize() int { return s.ball.ball.Len() }
+
+// Grow extends the ball from radius K to K+1 — one mutation shell, no
+// transition exploration (that happens at Seal).
+func (s *BallSweep) Grow() error { return s.ball.grow() }
+
+// GrowTo grows the ball to radius k (a no-op when already there).
+func (s *BallSweep) GrowTo(k int) error { return s.ball.growTo(k) }
+
+// Seal explores the forward closure of every ball configuration not yet
+// explored and returns a canonical snapshot: the closure subspace plus the
+// ball's globals and exact fault distances in ascending-global order —
+// exactly what BallClosure returns from scratch, at the incremental cost
+// of the new states only. The snapshot is independent of the sweep: Grow
+// and Seal again freely. An empty ball (empty legitimate set) seals to a
+// nil subspace with empty globals, mirroring BallClosure.
+func (s *BallSweep) Seal() (*statespace.SubSpace, []int64, []int, error) {
+	globals, dist := s.ball.sorted()
+	if len(globals) == 0 {
+		return nil, globals, dist, nil
+	}
+	if s.builder == nil {
+		b, err := statespace.NewBuilder(s.a, s.pol, s.opt)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("checker: %w", err)
+		}
+		s.builder = b
+	}
+	// Extend with the whole ball: already-discovered members are dedup
+	// no-ops, so only genuinely new states are explored.
+	if err := s.builder.Extend(globals); err != nil {
+		return nil, nil, nil, fmt.Errorf("checker: %w", err)
+	}
+	return s.builder.Seal(), globals, dist, nil
+}
+
+// BallStore persists ball enumerations under an (instance, k) key — the
+// shape of spacecache.Cache's LoadBall/StoreBall, taken structurally so
+// this package stays independent of the cache layer. Loads return ok=false
+// on any miss; stores are best-effort.
+type BallStore interface {
+	LoadBall(a protocol.Algorithm, k int, maxStates int64) (globals []int64, dist []int, ok bool)
+	StoreBall(a protocol.Algorithm, k int, globals []int64, dist []int) error
+}
+
+// SubSpaceStore loads and persists sealed closure subspaces under their
+// (instance, policy, seed set) key — the shape of spacecache.Cache's
+// LoadSubSpace/StoreSubSpace.
+type SubSpaceStore interface {
+	LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, bool)
+	StoreSubSpace(ss *statespace.SubSpace, seeds []int64) error
+}
+
+// Sources injects the optional on-disk persistence into the ball
+// pipelines. The zero value means "no caching": everything is enumerated
+// and explored in process.
+type Sources struct {
+	// Build explores the forward closure of a seed set (nil means
+	// statespace.BuildFrom). A cache's load-or-build satisfies it.
+	Build SubSpaceBuilder
+	// Balls persists ball enumerations under (instance, k) keys.
+	Balls BallStore
+	// Subs loads and persists sealed closure subspaces; SweepKFaults uses
+	// it to make warm sweeps exploration-free.
+	Subs SubSpaceStore
+}
+
+// build resolves the closure builder, defaulting to statespace.BuildFrom.
+func (src Sources) build() SubSpaceBuilder {
+	if src.Build != nil {
+		return src.Build
+	}
+	return func(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
+		return statespace.BuildFrom(a, pol, seeds, opt)
+	}
+}
+
+// BallClosureWith is BallClosure with both persistence hooks injected: a
+// ball cached under the (instance, k) key skips the seed enumeration
+// entirely (no legitimacy scan, no mutation BFS), and the closure then
+// loads or builds through src.Build. On a fully warm cache the pipeline
+// runs zero algorithm callbacks of any kind.
+func BallClosureWith(src Sources, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
+	globals, ballDist, ok := []int64(nil), []int(nil), false
+	if src.Balls != nil {
+		globals, ballDist, ok = src.Balls.LoadBall(a, k, statespace.StateCap(opt.MaxStates))
+	}
+	if !ok {
+		var err error
+		globals, ballDist, err = FaultBall(a, k, opt.Workers, opt.MaxStates)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if src.Balls != nil {
+			_ = src.Balls.StoreBall(a, k, globals, ballDist) // best-effort persistence
+		}
+	}
+	if len(globals) == 0 {
+		return nil, globals, ballDist, nil
+	}
+	ss, err := src.build()(a, pol, globals, opt)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("checker: %w", err)
+	}
+	return ss, globals, ballDist, nil
+}
+
+// BallVerdictAt classifies the k-fault convergence properties for exactly
+// one radius over an already-built ball closure — the per-step verdict of
+// an incremental sweep (BallVerdictsOver computes the whole 0..k range
+// when a caller wants them all from one subspace). A nil subspace yields
+// the vacuous verdict.
+func BallVerdictAt(ss *statespace.SubSpace, localDist []int, k int) KFaultVerdict {
+	if ss == nil {
+		return KFaultVerdict{K: k, Possible: true, Certain: true}
+	}
+	sp := FromSpace(ss)
+	return sp.checkKFaults(k, localDist, sp.reverseReach(), sp.divergingStates())
+}
+
+// SweepResult is the outcome of an incremental k-fault sweep.
+type SweepResult struct {
+	// Verdicts holds the k-fault verdict for every radius walked, in
+	// ascending k; len(Verdicts)-1 is the last radius reached (kmax, or
+	// the radius that broke convergence under StopAtBreak).
+	Verdicts []KFaultVerdict
+	// ClosureStates[k] is the number of states in the sealed closure at
+	// radius k (0 when the legitimate set is empty).
+	ClosureStates []int
+	// CacheHits[k] reports whether radius k was served entirely from the
+	// injected stores (no enumeration, no exploration).
+	CacheHits []bool
+	// BreaksCertainAt is the smallest walked k whose certain-convergence
+	// verdict fails (-1 if none did), i.e. the largest tolerable fault
+	// count plus one. BreaksPossibleAt is the analogue for possible
+	// convergence.
+	BreaksCertainAt  int
+	BreaksPossibleAt int
+	// Sub is the sealed closure at the last walked radius (nil when the
+	// legitimate set is empty), with Globals/Dist the matching ball.
+	Sub     *statespace.SubSpace
+	Globals []int64
+	Dist    []int
+}
+
+// SweepKFaults walks k = 0..kmax with one incremental ball enumeration and
+// one incremental closure exploration in total: each radius extends the
+// previous ball and subspace instead of restarting, and every per-k verdict
+// is bit-identical to the from-scratch BallVerdicts at that k. With
+// stopAtBreak the walk ends at the smallest k whose certain-convergence
+// verdict fails — the "how many faults can the system absorb" search loop.
+//
+// The injected src makes the sweep cache-aware end to end: radii whose
+// ball and closure are both persisted are served with zero algorithm
+// callbacks, and the sweep resumes incremental exploration at the first
+// radius that misses.
+func SweepKFaults(src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax int, opt statespace.Options, stopAtBreak bool) (*SweepResult, error) {
+	if kmax < 0 {
+		return nil, fmt.Errorf("checker: negative sweep radius %d", kmax)
+	}
+	res := &SweepResult{BreaksCertainAt: -1, BreaksPossibleAt: -1}
+	maxStates := statespace.StateCap(opt.MaxStates)
+	var sweep *BallSweep
+	for k := 0; k <= kmax; k++ {
+		var (
+			ss      *statespace.SubSpace
+			globals []int64
+			dist    []int
+			hit     bool
+			// ballStored: the store already holds this radius's ball (it
+			// was just loaded), so sealing must not rewrite it.
+			ballStored bool
+		)
+		if sweep == nil {
+			// Warm path: serve radius k entirely from the stores.
+			if src.Balls != nil {
+				if g, d, ok := src.Balls.LoadBall(a, k, maxStates); ok {
+					if len(g) == 0 {
+						globals, dist, hit = g, d, true
+					} else if src.Subs != nil {
+						if loaded, ok := src.Subs.LoadSubSpace(a, pol, g, opt); ok {
+							ss, globals, dist, hit = loaded, g, d, true
+						}
+					}
+					if !hit {
+						// Ball cached, closure not: resume the sweep from the
+						// ball (and the previous radius's closure, if any) so
+						// Seal explores only what is missing.
+						resumed, err := ResumeBallSweep(a, pol, k, g, d, res.Sub, opt)
+						if err != nil {
+							return nil, err
+						}
+						sweep = resumed
+						ballStored = true
+					}
+				}
+			}
+			if sweep == nil && !hit {
+				// First fully-cold radius: resume from the last warm state,
+				// or start fresh at k=0.
+				var err error
+				if res.Globals != nil {
+					sweep, err = ResumeBallSweep(a, pol, k-1, res.Globals, res.Dist, res.Sub, opt)
+				} else {
+					sweep, err = NewBallSweep(a, pol, opt)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !hit {
+			if err := sweep.GrowTo(k); err != nil {
+				return nil, err
+			}
+			var err error
+			if ss, globals, dist, err = sweep.Seal(); err != nil {
+				return nil, err
+			}
+			if src.Balls != nil && !ballStored {
+				_ = src.Balls.StoreBall(a, k, globals, dist) // best-effort persistence
+			}
+			if ss != nil && src.Subs != nil {
+				_ = src.Subs.StoreSubSpace(ss, globals) // best-effort persistence
+			}
+		}
+		v := BallVerdictAt(ss, BallLocalDistances(ss, globals, dist), k)
+		res.Verdicts = append(res.Verdicts, v)
+		states := 0
+		if ss != nil {
+			states = ss.NumStates()
+		}
+		res.ClosureStates = append(res.ClosureStates, states)
+		res.CacheHits = append(res.CacheHits, hit)
+		res.Sub, res.Globals, res.Dist = ss, globals, dist
+		if !v.Possible && res.BreaksPossibleAt < 0 {
+			res.BreaksPossibleAt = k
+		}
+		if !v.Certain && res.BreaksCertainAt < 0 {
+			res.BreaksCertainAt = k
+			if stopAtBreak {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// CacheSources adapts an on-disk cache with the shape of *spacecache.Cache
+// to the full Sources of the ball pipelines: closure load-or-build, ball
+// persistence, and sealed-subspace persistence. All methods of the cache
+// are nil-receiver-safe, so a missing -cache flag threads straight
+// through. The parameter is structural, so this package stays independent
+// of the cache layer.
+func CacheSources(c interface {
+	BuildSubSpace(protocol.Algorithm, scheduler.Policy, []int64, statespace.Options) (*statespace.SubSpace, bool, error)
+	LoadBall(a protocol.Algorithm, k int, maxStates int64) ([]int64, []int, bool)
+	StoreBall(a protocol.Algorithm, k int, globals []int64, dist []int) error
+	LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, bool)
+	StoreSubSpace(ss *statespace.SubSpace, seeds []int64) error
+}) Sources {
+	return Sources{Build: BuilderFromCache(c), Balls: c, Subs: c}
+}

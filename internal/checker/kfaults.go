@@ -14,14 +14,13 @@ package checker
 // over single-process mutations, no transition exploration), frontier-
 // explores only the ball's forward closure (statespace.BuildFrom), and
 // classifies over that subspace — bit-identical verdicts at the cost of
-// the ball's closure instead of the whole configuration space.
+// the ball's closure instead of the whole configuration space. The ball
+// enumeration seeds from the algorithm's closed-form legitimate set
+// (protocol.LegitEnumerator) when available, so the pipeline is strictly
+// ball-sized; BallSweep and SweepKFaults (ballsweep.go) make it
+// incremental across k on top of the same machinery.
 
 import (
-	"fmt"
-	"math"
-	"runtime"
-	"sort"
-
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/statespace"
@@ -164,114 +163,31 @@ func (sp *Space) divergingStates() []bool {
 }
 
 // FaultBall enumerates every configuration at fault distance at most k
-// from the legitimate set of a, without exploring any transition: a
-// parallel legitimacy scan of the index range seeds a BFS over
-// single-process mutations truncated at depth k. It returns the ball's
-// global configuration indexes in ascending order with the aligned exact
-// fault distances. Memory is proportional to the ball, not the range
-// (statespace.Dedup); time is O(range) for the scan plus O(ball × Σ_p
-// |domain_p|) for the BFS. maxStates caps the ball size (0 means
-// statespace.DefaultMaxStates), mirroring every other exploration path.
+// from the legitimate set of a, without exploring any transition. The seed
+// set L comes from the algorithm's closed-form enumeration when it
+// implements protocol.LegitEnumerator — zero full-range passes — and from
+// a parallel legitimacy scan of the index range otherwise; either way a
+// BFS over single-process mutations truncated at depth k grows the ball.
+// It returns the ball's global configuration indexes in ascending order
+// with the aligned exact fault distances. Memory is proportional to the
+// ball, not the range (statespace.Dedup); time is O(|L| × Σ_p |domain_p|)
+// plus O(range) only on the scan path. maxStates caps the ball size (0
+// means statespace.DefaultMaxStates), mirroring every other exploration
+// path.
+//
+// FaultBall is the one-shot face of the resumable BallSweep: callers
+// walking k upward (the smallest-k-that-breaks search) keep a BallSweep
+// alive and Grow it instead of re-enumerating per k.
 func FaultBall(a protocol.Algorithm, k int, workers int, maxStates int64) ([]int64, []int, error) {
-	enc, err := protocol.NewEncoder(a, 0)
+	b, err := newBallGrower(a, workers, maxStates)
 	if err != nil {
-		return nil, nil, fmt.Errorf("checker: %w", err)
+		return nil, nil, err
 	}
-	maxStates = statespace.StateCap(maxStates)
-	n := a.Graph().N()
-	total := enc.Total()
-	if total > int64(math.MaxInt) {
-		return nil, nil, fmt.Errorf("checker: %d configurations exceed the platform index range", total)
+	if err := b.growTo(k); err != nil {
+		return nil, nil, err
 	}
-
-	// Parallel legitimacy scan: per-chunk odometer decode, chunks stitched
-	// in index order so the seed enumeration is deterministic and already
-	// ascending. The grain grows with the range so the chunk-header array
-	// stays bounded on huge index ranges.
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	grain := int64(1 << 12)
-	if c := total / int64(workers*8); c > grain {
-		grain = c
-	}
-	numChunks := (total + grain - 1) / grain
-	perChunk := make([][]int64, numChunks)
-	statespace.ForRanges(int(total), workers, int(grain), func(lo, hi int) bool {
-		var found []int64
-		cfg := make(protocol.Configuration, n)
-		for g := int64(lo); g < int64(hi); g++ {
-			if g == int64(lo) {
-				cfg = enc.Decode(g, cfg)
-			} else {
-				enc.DecodeNext(cfg)
-			}
-			if a.Legitimate(cfg) {
-				found = append(found, g)
-			}
-		}
-		perChunk[int64(lo)/grain] = found
-		return true
-	})
-
-	ball := statespace.NewDedup(total)
-	var dist []int
-	for _, found := range perChunk {
-		for _, g := range found {
-			ball.Add(g)
-			dist = append(dist, 0)
-		}
-	}
-	// Inclusive cap: a legitimate set of exactly maxStates is admitted,
-	// matching the seed admission of statespace.BuildFrom.
-	if int64(ball.Len()) > maxStates {
-		return nil, nil, fmt.Errorf("checker: legitimate set of %d configurations exceeds the %d-state cap", ball.Len(), maxStates)
-	}
-	// Mutation BFS: the dedup's global list doubles as the queue (ids are
-	// assigned in discovery = BFS order, so distances are exact).
-	cfg := make(protocol.Configuration, n)
-	for head := 0; head < ball.Len(); head++ {
-		if dist[head] == k {
-			continue
-		}
-		g := ball.Globals()[head]
-		cfg = enc.Decode(g, cfg)
-		for p := 0; p < n; p++ {
-			orig := cfg[p]
-			w := enc.Weight(p)
-			for v := 0; v < a.StateCount(p); v++ {
-				if v == orig {
-					continue
-				}
-				ng := g + int64(v-orig)*w
-				if ball.Lookup(ng) < 0 {
-					// Inclusive cap: the maxStates-th discovered state is
-					// admitted; only the one after fails — the same
-					// semantics as the frontier engine's discovery cap.
-					if int64(ball.Len()) >= maxStates {
-						return nil, nil, fmt.Errorf("checker: distance-%d fault ball exceeds the %d-state cap", k, maxStates)
-					}
-					ball.Add(ng)
-					dist = append(dist, dist[head]+1)
-				}
-			}
-		}
-	}
-	// Ascending-global order, matching the canonical local order of the
-	// subspace BuildFrom will carve from these seeds.
-	globals := ball.Globals()
-	order := make([]int, len(globals))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool { return globals[order[i]] < globals[order[j]] })
-	outG := make([]int64, len(order))
-	outD := make([]int, len(order))
-	for i, o := range order {
-		outG[i] = globals[o]
-		outD[i] = dist[o]
-	}
-	return outG, outD, nil
+	g, d := b.sorted()
+	return g, d, nil
 }
 
 // SubSpaceBuilder explores the forward closure of a seed set — the shape
@@ -297,22 +213,10 @@ func BallClosure(a protocol.Algorithm, pol scheduler.Policy, k int, opt statespa
 // to build (nil means statespace.BuildFrom) — the cached pipelines of
 // stabcheck, the experiments and the examples inject a space-cache
 // load-or-build here, so the one-ball-enumeration + one-closure shape
-// lives in exactly one place.
+// lives in exactly one place. Callers that also persist the ball
+// enumeration itself pass a full Sources via BallClosureWith.
 func BallClosureUsing(build SubSpaceBuilder, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
-	globals, ballDist, err := FaultBall(a, k, opt.Workers, opt.MaxStates)
-	if err != nil || len(globals) == 0 {
-		return nil, globals, ballDist, err
-	}
-	if build == nil {
-		build = func(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
-			return statespace.BuildFrom(a, pol, seeds, opt)
-		}
-	}
-	ss, err := build(a, pol, globals, opt)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("checker: %w", err)
-	}
-	return ss, globals, ballDist, nil
+	return BallClosureWith(Sources{Build: build}, a, pol, k, opt)
 }
 
 // BuilderFromCache adapts any load-or-build source with the shape of

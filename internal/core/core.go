@@ -153,6 +153,28 @@ func AnalyzeFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Co
 	return AnalyzeSpace(ss)
 }
 
+// SweepKFaults walks the k-fault hierarchy k = 0..kmax incrementally
+// (checker.SweepKFaults): one ball enumeration and one closure exploration
+// in total, each radius extending the previous instead of restarting, with
+// per-k verdicts bit-identical to from-scratch runs. With stopAtBreak the
+// walk ends at the smallest k whose certain-convergence verdict fails —
+// the "largest tolerable fault count" search. Algorithms that know their
+// legitimate set in closed form (protocol.LegitEnumerator) never pay a
+// full-range pass of any kind. With Options.CacheDir set, the ball
+// enumerations and sealed closures persist across process runs, so a warm
+// sweep is exploration-free.
+func SweepKFaults(a protocol.Algorithm, pol scheduler.Policy, kmax int, opt Options, stopAtBreak bool) (*checker.SweepResult, error) {
+	cache, err := spacecache.Open(opt.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res, err := checker.SweepKFaults(checker.CacheSources(cache), a, pol, kmax, opt.spaceOptions(), stopAtBreak)
+	if err != nil {
+		return nil, fmt.Errorf("core: sweeping %s: %w", a.Name(), err)
+	}
+	return res, nil
+}
+
 // AnalyzeSpace runs the full classification over an already-explored
 // transition system — a full statespace.Space or a frontier-explored
 // statespace.SubSpace — without any further enumeration. Over a subspace,

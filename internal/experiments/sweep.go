@@ -1,0 +1,137 @@
+package experiments
+
+// E19 demonstrates the incremental k-fault sweep: walking k = 0..kmax with
+// one ball enumeration and one closure exploration in total (each radius
+// extends the previous ball and subspace — checker.SweepKFaults), seeded
+// from the closed-form legitimate set (protocol.LegitEnumerator), so the
+// whole pipeline is strictly ball-sized: no pass over the index range of
+// any kind. The experiment verifies every per-k verdict against the
+// from-scratch ball pipeline and counts the algorithm callbacks to prove
+// the cost claims, then reports the smallest k that breaks certain
+// convergence — 1 for the anonymous token ring (deterministic guarantees
+// collapse at the first fault) and none for Dijkstra's ring with K ≥ N.
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"text/tabwriter"
+
+	"weakstab/internal/algorithms/dijkstra"
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/checker"
+	"weakstab/internal/core"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/statespace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E19",
+		Title: "Extension: incremental, strictly ball-sized k-fault sweeps",
+		PaperClaim: "(Engineering; k-stabilization lens [2,12] + Dolev–Herman's k-fault " +
+			"regime.) Walking k upward re-uses the k-ball and its closure for k+1, so a " +
+			"whole sweep costs one incremental exploration — and closed-form legitimate " +
+			"sets remove the last full-range pass. Verdicts are bit-identical to " +
+			"from-scratch runs at every k; the token ring breaks certain convergence at " +
+			"k=1, Dijkstra's ring (K=N) at no k.",
+		Run: runE19,
+	})
+}
+
+// sweepCountingAlg counts the callbacks exploration makes into the
+// algorithm while forwarding the closed-form enumeration, so the "zero
+// full-range passes" claim is checkable arithmetic.
+type sweepCountingAlg struct {
+	protocol.LegitEnumerator
+	legit atomic.Int64
+}
+
+func (c *sweepCountingAlg) Legitimate(cfg protocol.Configuration) bool {
+	c.legit.Add(1)
+	return c.LegitEnumerator.Legitimate(cfg)
+}
+
+func runE19(w io.Writer, opt Options) error {
+	n := 10
+	kmax := 2
+	if opt.Quick {
+		n, kmax = 8, 1
+	}
+	inner, err := tokenring.New(n)
+	if err != nil {
+		return err
+	}
+	pol := scheduler.CentralPolicy{}
+	ssOpt := statespace.Options{Workers: opt.Workers}
+
+	// The incremental sweep, with exact callback accounting: the closure
+	// explorer evaluates legitimacy once per explored state, and nothing
+	// else may call back at all — a full-range pass would show up as
+	// ~|space| extra calls.
+	counted := &sweepCountingAlg{LegitEnumerator: inner}
+	res, err := checker.SweepKFaults(checker.Sources{}, counted, pol, kmax, ssOpt, false)
+	if err != nil {
+		return err
+	}
+	enc, err := protocol.NewEncoder(inner, 0)
+	if err != nil {
+		return err
+	}
+	states := int64(res.Sub.NumStates())
+	if got := counted.legit.Load(); got != states {
+		return fmt.Errorf("sweep made %d Legitimate calls, want exactly %d (one per closure state): a full-range pass (%d configs) leaked in",
+			got, states, enc.Total())
+	}
+
+	// Per-k parity against the from-scratch ball pipeline.
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\tball configs\tclosure states\tpossible\tcertain\tfrom-scratch agrees")
+	for k, v := range res.Verdicts {
+		ref, _, err := checker.BallVerdicts(inner, pol, k, ssOpt)
+		if err != nil {
+			return err
+		}
+		r := ref[k]
+		agrees := v.Configs == r.Configs && v.Possible == r.Possible && v.Certain == r.Certain
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%v\t%v\n", k, v.Configs, res.ClosureStates[k], v.Possible, v.Certain, agrees)
+		if !agrees {
+			tw.Flush()
+			return fmt.Errorf("k=%d: incremental verdict %+v disagrees with from-scratch %+v", k, v, r)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "exploration: %d Legitimate calls for a %d-state closure inside a %d-configuration range — no full-range pass\n",
+		counted.legit.Load(), states, enc.Total())
+	if res.BreaksCertainAt != 1 {
+		return fmt.Errorf("token ring must break certain convergence at k=1, got %d", res.BreaksCertainAt)
+	}
+	fmt.Fprintf(w, "%s: smallest k breaking certain convergence = %d (guarantees collapse at the first fault)\n",
+		inner.Name(), res.BreaksCertainAt)
+
+	// Dijkstra's ring with K = N is self-stabilizing: no radius breaks it.
+	// The sweep's early-stop search confirms by walking every k without
+	// finding one (the kmax ball already covers the whole space here).
+	dn := 4
+	dk, err := dijkstra.New(dn, dn)
+	if err != nil {
+		return err
+	}
+	dres, err := core.SweepKFaults(dk, pol, dn, Options{Workers: opt.Workers, CacheDir: opt.CacheDir}.coreOptions(), true)
+	if err != nil {
+		return err
+	}
+	if dres.BreaksCertainAt >= 0 {
+		return fmt.Errorf("%s must never break certain convergence, broke at k=%d", dk.Name(), dres.BreaksCertainAt)
+	}
+	fmt.Fprintf(w, "%s: no k <= %d breaks certain convergence (self-stabilizing at every fault distance)\n", dk.Name(), dn)
+	fmt.Fprintln(w, "shape: the k+1 sweep extends the k ball and its subspace instead of restarting;")
+	fmt.Fprintln(w, "       closed-form L makes the pipeline strictly ball-sized")
+	return nil
+}
+
+// coreOptions lowers experiment options to core analysis options.
+func (o Options) coreOptions() core.Options {
+	return core.Options{Workers: o.Workers, CacheDir: o.CacheDir}
+}

@@ -117,6 +117,25 @@ type Deterministic interface {
 	DeterministicExecute(cfg Configuration, p int, action int) int
 }
 
+// LegitEnumerator is implemented by algorithms that know their legitimate
+// set in closed form (token rings and Dijkstra's ring characterize L
+// combinatorially). Exploration engines that only need L as a seed set —
+// the checker's fault-ball enumeration above all — use it to skip the
+// O(|configuration space|) legitimacy scan entirely, making ball-sized
+// analyses strictly ball-sized.
+//
+// EnumerateLegitimate must yield exactly the configurations for which
+// Legitimate returns true — no more, no fewer (duplicates are tolerated
+// but wasteful) — and stop early when yield returns false. The yielded
+// slice may be reused between calls; consumers must copy or encode it
+// before yielding again.
+type LegitEnumerator interface {
+	Algorithm
+	// EnumerateLegitimate calls yield for every legitimate configuration
+	// until yield returns false or the set is exhausted.
+	EnumerateLegitimate(yield func(Configuration) bool)
+}
+
 // EnabledProcesses returns the processes with an enabled action in cfg, in
 // ascending order.
 func EnabledProcesses(a Algorithm, cfg Configuration) []int {

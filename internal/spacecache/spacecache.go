@@ -68,12 +68,15 @@ func (c *Cache) Dir() string {
 	return c.dir
 }
 
-// canonical renders the cache identity of (algorithm, instance, policy) as
-// a readable string: the format version (so incompatible layouts never
-// share a key), the algorithm's parameterized name, the per-process state
-// domains, the exact edge set of the communication graph (which is what
-// distinguishes two random trees of equal size), and the policy name.
-func canonical(a protocol.Algorithm, pol scheduler.Policy) string {
+// canonicalInstance renders the policy-free cache identity of an algorithm
+// instance as a readable string: the format version (so incompatible
+// layouts never share a key), the algorithm's parameterized name, the
+// per-process state domains, and the exact edge set of the communication
+// graph (which is what distinguishes two random trees of equal size).
+// Entries that do not depend on the scheduler — the fault-ball
+// enumeration above all — key on this alone, so one ball file serves
+// every policy.
+func canonicalInstance(a protocol.Algorithm) string {
 	g := a.Graph()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "v%d|alg=%s|n=%d|domains=", statespace.SerialVersion, a.Name(), g.N())
@@ -84,8 +87,13 @@ func canonical(a protocol.Algorithm, pol scheduler.Policy) string {
 	for _, e := range g.Edges() {
 		fmt.Fprintf(&sb, "%d-%d;", e[0], e[1])
 	}
-	fmt.Fprintf(&sb, "|policy=%s", pol.Name())
 	return sb.String()
+}
+
+// canonical extends the instance identity with the policy name — the
+// identity of explored transition systems.
+func canonical(a protocol.Algorithm, pol scheduler.Policy) string {
+	return fmt.Sprintf("%s|policy=%s", canonicalInstance(a), pol.Name())
 }
 
 // Key returns the canonical cache key of a full space: a hex digest of the

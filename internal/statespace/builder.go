@@ -1,0 +1,264 @@
+// The resumable face of the frontier engine. BuildFrom answers one-shot
+// questions — "explore the closure of this seed set" — but the k-fault
+// sweeps of the checker grow their seed set incrementally: the distance-
+// (k+1) ball is the distance-k ball plus one shell. Re-running BuildFrom
+// per k re-explores the shared interior every time. Builder keeps the
+// exploration state alive between seed waves instead: Extend adds seeds
+// and explores exactly the states not yet discovered, and Seal snapshots
+// the current closure as a canonical SubSpace without disturbing the
+// builder — so a k=0..kmax sweep pays for one exploration of the final
+// closure, total, while still observing a sealed subspace at every k.
+//
+// Sealing canonicalizes a *copy*: the builder's own table and CSR stay in
+// discovery order, which is what makes further Extend calls valid. Because
+// a SubSpace is a pure function of (algorithm, policy, seed set) —
+// canonicalization erases discovery order — a sealed snapshot is
+// bit-identical to BuildFrom over the union of all seed waves, which the
+// parity tests pin.
+package statespace
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+// Builder is a resumable frontier exploration: a BuildFrom whose seed set
+// can grow between explorations. The zero value is not usable; call
+// NewBuilder or ResumeFrom.
+type Builder struct {
+	alg       protocol.Algorithm
+	pol       scheduler.Policy
+	enc       *protocol.Encoder
+	workers   int
+	maxStates int64
+
+	table *Dedup
+	off   []int64
+	succ  []int32
+	prob  []float64
+	legit []bool
+	// explored counts the states whose successor rows are already in the
+	// CSR; states [explored, table.Len()) are the pending BFS frontier.
+	// Extend restores the invariant explored == table.Len() (closure).
+	explored int
+
+	pool   sync.Pool
+	chunks []frontierChunk
+}
+
+// NewBuilder returns an empty resumable exploration of a's configuration
+// space under pol. opt has BuildFrom's semantics: MaxStates caps the total
+// number of discovered states across all Extend calls (0 means
+// DefaultMaxStates), and the explored closure is deterministic and
+// independent of opt.Workers.
+func NewBuilder(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Builder, error) {
+	enc, err := protocol.NewEncoder(a, 0)
+	if err != nil {
+		return nil, fmt.Errorf("statespace: %w", err)
+	}
+	b := &Builder{
+		alg:       a,
+		pol:       pol,
+		enc:       enc,
+		workers:   resolveWorkers(opt.Workers, math.MaxInt),
+		maxStates: StateCap(opt.MaxStates),
+		table:     NewDedup(enc.Total()),
+		off:       []int64{0},
+	}
+	b.pool.New = func() any { return newExplorer(a, pol, enc) }
+	return b, nil
+}
+
+// ResumeFrom returns a builder whose already-explored closure is a deep
+// copy of the sealed subspace ss — the resume path of incremental sweeps
+// whose earlier radii were loaded from an on-disk cache rather than
+// explored in this process. ss is not touched or aliased: the builder can
+// grow while the subspace keeps serving analyses. ss must be closed under
+// successors, which every SubSpace produced by BuildFrom, Seal or
+// ReadSubSpace is.
+func ResumeFrom(ss *SubSpace, opt Options) (*Builder, error) {
+	b, err := NewBuilder(ss.Alg, ss.Pol, opt)
+	if err != nil {
+		return nil, err
+	}
+	if int64(ss.States) > b.maxStates {
+		return nil, fmt.Errorf("statespace: resumed subspace of %d states exceeds the %d-state cap", ss.States, b.maxStates)
+	}
+	off, succ, prob := ss.CSR()
+	b.off = slices.Clone(off)
+	b.succ = slices.Clone(succ)
+	b.prob = slices.Clone(prob)
+	b.legit = slices.Clone(ss.Legit)
+	b.table = NewDedupFromGlobals(b.enc.Total(), ss.Globals())
+	b.explored = ss.States
+	return b, nil
+}
+
+// Len returns the number of discovered states.
+func (b *Builder) Len() int { return b.table.Len() }
+
+// Contains reports whether the global configuration index g has been
+// discovered.
+func (b *Builder) Contains(g int64) bool { return b.table.Lookup(g) >= 0 }
+
+// addSeeds admits seed globals into the discovered set (duplicates and
+// already-discovered states are no-ops), leaving them on the pending
+// frontier for the next explore.
+func (b *Builder) addSeeds(seeds []int64) error {
+	for _, g := range seeds {
+		if g < 0 || g >= b.enc.Total() {
+			return fmt.Errorf("statespace: seed index %d outside configuration space [0,%d)", g, b.enc.Total())
+		}
+		b.table.Add(g)
+	}
+	// Inclusive cap: exactly maxStates distinct seeds are admitted.
+	if int64(b.table.Len()) > b.maxStates {
+		return fmt.Errorf("statespace: %d seeds exceed the %d-state cap", b.table.Len(), b.maxStates)
+	}
+	return nil
+}
+
+// explore runs the level-synchronous parallel BFS until the discovered set
+// is closed under successors — the loop of BuildFrom, resuming from
+// whatever was explored before. On error the builder is no longer usable.
+func (b *Builder) explore() error {
+	var (
+		failMu  sync.Mutex
+		failErr error
+	)
+	for lo := b.explored; lo < b.table.Len(); {
+		hi := b.table.Len()
+		level := b.table.Globals()[lo:hi] // expansion only reads, so no insert moves it
+		numChunks := (len(level) + frontierGrain - 1) / frontierGrain
+		if cap(b.chunks) < numChunks {
+			b.chunks = make([]frontierChunk, numChunks)
+		}
+		chunks := b.chunks[:numChunks]
+
+		// Parallel expansion of the level: rows with global targets, plus
+		// read-only dedup resolutions of the targets already discovered.
+		ForRanges(len(level), b.workers, frontierGrain, func(clo, chi int) bool {
+			ex := b.pool.Get().(*explorer)
+			defer b.pool.Put(ex)
+			ck := frontierChunk{
+				deg:   make([]int32, chi-clo),
+				legit: make([]bool, chi-clo),
+			}
+			for i := clo; i < chi; i++ {
+				g := level[i]
+				ex.cfg = b.enc.Decode(g, ex.cfg)
+				legit, err := ex.exploreState(g)
+				if err != nil {
+					failMu.Lock()
+					if failErr == nil {
+						failErr = err
+					}
+					failMu.Unlock()
+					return false
+				}
+				ck.legit[i-clo] = legit
+				ck.deg[i-clo] = int32(len(ex.outTo))
+				for j, t := range ex.outTo {
+					ck.to = append(ck.to, t)
+					ck.local = append(ck.local, b.table.Lookup(t))
+					ck.prob = append(ck.prob, ex.outP[j])
+				}
+			}
+			chunks[clo/frontierGrain] = ck
+			return true
+		})
+		if failErr != nil {
+			return failErr
+		}
+
+		// Serial stitch in chunk-and-row order: append the level's rows to
+		// the CSR, assigning local ids to newly discovered targets in
+		// deterministic order.
+		for _, ck := range chunks {
+			at := 0
+			for r, d := range ck.deg {
+				b.legit = append(b.legit, ck.legit[r])
+				for j := 0; j < int(d); j++ {
+					l := ck.local[at]
+					if l < 0 {
+						// Inclusive cap: the maxStates-th discovered state is
+						// admitted; only the one after fails. The Len check
+						// short-circuits first so the re-resolving Lookup
+						// (the parallel-phase id may be stale — an earlier
+						// row of this stitch can have discovered the target)
+						// only runs once the table is full.
+						if int64(b.table.Len()) >= b.maxStates && b.table.Lookup(ck.to[at]) < 0 {
+							return fmt.Errorf("statespace: frontier exploration exceeds the %d-state cap", b.maxStates)
+						}
+						l = b.table.Add(ck.to[at])
+					}
+					b.succ = append(b.succ, l)
+					b.prob = append(b.prob, ck.prob[at])
+					at++
+				}
+				b.off = append(b.off, int64(len(b.succ)))
+			}
+		}
+		lo = hi
+	}
+	b.explored = b.table.Len()
+	return nil
+}
+
+// Extend admits the seed globals and explores their forward closure,
+// growing the discovered set by exactly the states not already known. A
+// seed that was already discovered costs nothing. On error the builder is
+// no longer usable.
+func (b *Builder) Extend(seeds []int64) error {
+	if err := b.addSeeds(seeds); err != nil {
+		return err
+	}
+	return b.explore()
+}
+
+// Seal snapshots the current closure as a canonical SubSpace — local ids
+// in ascending-global order, bit-identical to BuildFrom over the union of
+// every seed set extended so far. The snapshot is independent of the
+// builder: later Extend calls grow the builder without disturbing it.
+// Sealing an empty builder (no seeds ever admitted) returns nil.
+func (b *Builder) Seal() *SubSpace { return b.seal(false) }
+
+// seal builds the canonical SubSpace; with move=true it takes ownership of
+// the builder's arrays instead of copying (the one-shot BuildFrom path —
+// the builder must not be used afterwards).
+func (b *Builder) seal(move bool) *SubSpace {
+	if b.table.Len() == 0 {
+		return nil
+	}
+	ss := &SubSpace{
+		Alg:     b.alg,
+		Pol:     b.pol,
+		Enc:     b.enc,
+		States:  b.table.Len(),
+		Workers: b.workers,
+	}
+	if move {
+		ss.off, ss.succ, ss.prob, ss.Legit, ss.table = b.off, b.succ, b.prob, b.legit, b.table
+		ss.canonicalize()
+		return ss
+	}
+	// Snapshot path: permute the discovery-order arrays straight into
+	// fresh canonical storage — one pass, no in-place renumbering — and
+	// give the snapshot the sealed binary-search table over its sorted
+	// globals (a snapshot never grows, so it needs no hash table at all).
+	// The builder's own discovery-order state is untouched.
+	globals := b.table.Globals()
+	order := canonicalOrder(globals)
+	ss.off, ss.succ, ss.prob, ss.Legit = permuteCSR(order, b.off, b.succ, b.prob, b.legit)
+	sorted := make([]int64, len(order))
+	for newID, old := range order {
+		sorted[newID] = globals[old]
+	}
+	ss.table = NewSortedDedup(sorted)
+	return ss
+}

@@ -1,0 +1,162 @@
+package statespace
+
+import (
+	"strings"
+	"testing"
+
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/scheduler"
+)
+
+// TestBuilderWavesMatchBuildFrom pins the resumable engine's core
+// property: extending a Builder with seed waves yields, at every seal,
+// exactly the subspace BuildFrom produces from the union of the waves so
+// far — arrays bit-equal, across worker counts and policies.
+func TestBuilderWavesMatchBuildFrom(t *testing.T) {
+	a, err := tokenring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waves := [][]int64{
+		{0, 5},
+		{1, 2, 5}, // overlaps wave 1
+		{20, 17},
+	}
+	for _, pol := range []scheduler.Policy{scheduler.CentralPolicy{}, scheduler.SynchronousPolicy{}} {
+		for _, workers := range []int{1, 4} {
+			opt := Options{Workers: workers}
+			b, err := NewBuilder(a, pol, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var union []int64
+			for w, wave := range waves {
+				if err := b.Extend(wave); err != nil {
+					t.Fatal(err)
+				}
+				union = append(union, wave...)
+				got := b.Seal()
+				want, err := BuildFrom(a, pol, union, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSubSpaceEqual(t, want, got)
+				if b.Len() != got.NumStates() {
+					t.Fatalf("wave %d: builder holds %d states, sealed %d", w, b.Len(), got.NumStates())
+				}
+			}
+		}
+	}
+}
+
+// TestBuilderSealIsolation pins the snapshot contract: a sealed subspace
+// is untouched by later growth of the builder.
+func TestBuilderSealIsolation(t *testing.T) {
+	a, err := tokenring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := scheduler.CentralPolicy{}
+	b, err := NewBuilder(a, pol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Extend([]int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	first := b.Seal()
+	want, err := BuildFrom(a, pol, []int64{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Extend([]int64{7, 21, 30}); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Seal()
+	// The first snapshot still equals the from-scratch build of its seeds.
+	assertSubSpaceEqual(t, want, first)
+	// And it still answers queries through its own table.
+	if _, ok := first.StateOf(want.Config(0)); !ok {
+		t.Fatal("sealed snapshot lost its state lookup after builder growth")
+	}
+}
+
+// TestBuilderResumeFrom pins ResumeFrom: a builder adopted from a sealed
+// subspace continues bit-identically to one that never stopped, and the
+// adopted subspace is never mutated.
+func TestBuilderResumeFrom(t *testing.T) {
+	a, err := tokenring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := scheduler.DistributedPolicy{}
+	base, err := BuildFrom(a, pol, []int64{0, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildFrom(a, pol, []int64{0, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ResumeFrom(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Len() != base.NumStates() {
+		t.Fatalf("resumed builder holds %d states, want %d", rb.Len(), base.NumStates())
+	}
+	if err := rb.Extend([]int64{11, 29}); err != nil {
+		t.Fatal(err)
+	}
+	got := rb.Seal()
+	want, err := BuildFrom(a, pol, []int64{0, 3, 11, 29}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSubSpaceEqual(t, want, got)
+	// The adopted subspace must be untouched by the growth.
+	assertSubSpaceEqual(t, ref, base)
+}
+
+// TestBuilderCapSemantics pins the inclusive cap across waves: the cap
+// counts every discovered state since NewBuilder, not per Extend.
+func TestBuilderCapSemantics(t *testing.T) {
+	a, err := tokenring.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := scheduler.CentralPolicy{}
+	full, err := BuildFrom(a, pol, []int64{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(full.NumStates())
+	// Exactly n states: builds.
+	b, err := NewBuilder(a, pol, Options{MaxStates: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Extend([]int64{0}); err != nil {
+		t.Fatalf("cap of exactly %d states must admit the closure: %v", n, err)
+	}
+	// One fewer: the exploration fails with the cap error.
+	b, err = NewBuilder(a, pol, Options{MaxStates: n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Extend([]int64{0}); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("cap of %d states on a %d-state closure: err=%v", n-1, n, err)
+	}
+	// ResumeFrom under a too-small cap is rejected up front.
+	if _, err := ResumeFrom(full, Options{MaxStates: n - 1}); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("resume of a %d-state subspace under a %d-state cap: err=%v", n, n-1, err)
+	}
+	// Sealing an empty builder yields nil.
+	b, err = NewBuilder(a, pol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss := b.Seal(); ss != nil {
+		t.Fatalf("empty builder sealed to %d states, want nil", ss.NumStates())
+	}
+}

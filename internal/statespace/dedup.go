@@ -27,10 +27,11 @@ const DenseDedupLimit = 1 << 22
 
 // Dedup maps global configuration indexes to the dense local ids
 // [0, Len()), in insertion order. The zero value is not usable; call
-// NewDedup.
+// NewDedup (growable) or NewSortedDedup (sealed, binary-searched).
 type Dedup struct {
 	dense   []int32 // global -> local id, -1 when absent (small ranges)
 	shards  []map[int64]int32
+	sorted  bool    // sealed: globals strictly ascending, Lookup binary-searches
 	globals []int64 // local id -> global index, insertion order
 }
 
@@ -60,6 +61,21 @@ func shardOf(g int64) int {
 
 // Lookup returns the local id of g, or -1 when g has not been added.
 func (d *Dedup) Lookup(g int64) int32 {
+	if d.sorted {
+		lo, hi := 0, len(d.globals)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if d.globals[mid] < g {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(d.globals) && d.globals[lo] == g {
+			return int32(lo)
+		}
+		return -1
+	}
 	if d.dense != nil {
 		return d.dense[g]
 	}
@@ -70,8 +86,12 @@ func (d *Dedup) Lookup(g int64) int32 {
 }
 
 // Add inserts g if absent and returns its local id (existing or newly
-// assigned). Ids are assigned in insertion order.
+// assigned). Ids are assigned in insertion order. Add must not be called
+// on a sealed (NewSortedDedup) table.
 func (d *Dedup) Add(g int64) int32 {
+	if d.sorted {
+		panic("statespace: Add on a sealed dedup table")
+	}
 	if d.dense != nil {
 		if id := d.dense[g]; id >= 0 {
 			return id
@@ -91,16 +111,27 @@ func (d *Dedup) Add(g int64) int32 {
 	return id
 }
 
-// NewDedupFromGlobals rebuilds a table over [0, total) whose id order is
-// exactly the given global list (id i -> globals[i]). Deserialization uses
-// it to restore a subspace's local↔global mapping from its persisted
-// Globals section; the list must be duplicate-free.
+// NewDedupFromGlobals rebuilds a growable table over [0, total) whose id
+// order is exactly the given global list (id i -> globals[i]). The
+// resumable frontier Builder uses it to re-adopt a sealed subspace it will
+// keep growing; the list must be duplicate-free.
 func NewDedupFromGlobals(total int64, globals []int64) *Dedup {
 	d := NewDedup(total)
 	for _, g := range globals {
 		d.Add(g)
 	}
 	return d
+}
+
+// NewSortedDedup returns a sealed table whose id order is the given
+// strictly-ascending global list: Lookup binary-searches the list itself —
+// no dense array over the range, no hash table, no per-entry insertion
+// cost. Canonical subspaces (sealed snapshots, deserialized caches) are
+// exactly this shape: their ids are ascending-global by construction and
+// their state set never grows. The list is adopted, not copied; Add and
+// Renumber panic.
+func NewSortedDedup(globals []int64) *Dedup {
+	return &Dedup{sorted: true, globals: globals}
 }
 
 // Len returns the number of distinct globals added.
@@ -115,6 +146,9 @@ func (d *Dedup) Globals() []int64 { return d.globals }
 // Used by the frontier engine to canonicalize discovery-order ids into
 // ascending-global order after exploration.
 func (d *Dedup) Renumber(order []int32) {
+	if d.sorted {
+		panic("statespace: Renumber on a sealed dedup table")
+	}
 	remapped := make([]int64, len(order))
 	for newID, old := range order {
 		g := d.globals[old]

@@ -24,7 +24,6 @@ package statespace
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 
@@ -171,119 +170,22 @@ type frontierChunk struct {
 // DefaultMaxStates) — unlike Build, the full index range may exceed the
 // int32 state-index limit, since only discovered states need local ids.
 // The result is deterministic and independent of opt.Workers.
+//
+// BuildFrom is the one-shot face of the resumable Builder: callers that
+// grow their seed set incrementally (the checker's k-fault sweeps) keep a
+// Builder alive and Extend it instead of rebuilding per wave.
 func BuildFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Options) (*SubSpace, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("statespace: BuildFrom needs at least one seed")
 	}
-	enc, err := protocol.NewEncoder(a, 0)
+	b, err := NewBuilder(a, pol, opt)
 	if err != nil {
-		return nil, fmt.Errorf("statespace: %w", err)
+		return nil, err
 	}
-	maxStates := StateCap(opt.MaxStates)
-	workers := resolveWorkers(opt.Workers, math.MaxInt)
-	ss := &SubSpace{
-		Alg:     a,
-		Pol:     pol,
-		Enc:     enc,
-		Workers: workers,
-		table:   NewDedup(enc.Total()),
-		off:     []int64{0},
+	if err := b.Extend(seeds); err != nil {
+		return nil, err
 	}
-	for _, g := range seeds {
-		if g < 0 || g >= enc.Total() {
-			return nil, fmt.Errorf("statespace: seed index %d outside configuration space [0,%d)", g, enc.Total())
-		}
-		ss.table.Add(g)
-	}
-	// Inclusive cap: exactly maxStates distinct seeds are admitted.
-	if int64(ss.table.Len()) > maxStates {
-		return nil, fmt.Errorf("statespace: %d seeds exceed the %d-state cap", ss.table.Len(), maxStates)
-	}
-
-	var (
-		pool    = sync.Pool{New: func() any { return newExplorer(a, pol, enc) }}
-		failMu  sync.Mutex
-		failErr error
-	)
-	var chunks []frontierChunk
-	for lo := 0; lo < ss.table.Len(); {
-		hi := ss.table.Len()
-		level := ss.table.Globals()[lo:hi] // expansion only reads, so no insert moves it
-		numChunks := (len(level) + frontierGrain - 1) / frontierGrain
-		if cap(chunks) < numChunks {
-			chunks = make([]frontierChunk, numChunks)
-		}
-		chunks = chunks[:numChunks]
-
-		// Parallel expansion of the level: rows with global targets, plus
-		// read-only dedup resolutions of the targets already discovered.
-		ForRanges(len(level), workers, frontierGrain, func(clo, chi int) bool {
-			ex := pool.Get().(*explorer)
-			defer pool.Put(ex)
-			ck := frontierChunk{
-				deg:   make([]int32, chi-clo),
-				legit: make([]bool, chi-clo),
-			}
-			for i := clo; i < chi; i++ {
-				g := level[i]
-				ex.cfg = enc.Decode(g, ex.cfg)
-				legit, err := ex.exploreState(g)
-				if err != nil {
-					failMu.Lock()
-					if failErr == nil {
-						failErr = err
-					}
-					failMu.Unlock()
-					return false
-				}
-				ck.legit[i-clo] = legit
-				ck.deg[i-clo] = int32(len(ex.outTo))
-				for j, t := range ex.outTo {
-					ck.to = append(ck.to, t)
-					ck.local = append(ck.local, ss.table.Lookup(t))
-					ck.prob = append(ck.prob, ex.outP[j])
-				}
-			}
-			chunks[clo/frontierGrain] = ck
-			return true
-		})
-		if failErr != nil {
-			return nil, failErr
-		}
-
-		// Serial stitch in chunk-and-row order: append the level's rows to
-		// the CSR, assigning local ids to newly discovered targets in
-		// deterministic order.
-		for _, ck := range chunks {
-			at := 0
-			for r, d := range ck.deg {
-				ss.Legit = append(ss.Legit, ck.legit[r])
-				for j := 0; j < int(d); j++ {
-					l := ck.local[at]
-					if l < 0 {
-						// Inclusive cap: the maxStates-th discovered state is
-						// admitted; only the one after fails. The Len check
-						// short-circuits first so the re-resolving Lookup
-						// (the parallel-phase id may be stale — an earlier
-						// row of this stitch can have discovered the target)
-						// only runs once the table is full.
-						if int64(ss.table.Len()) >= maxStates && ss.table.Lookup(ck.to[at]) < 0 {
-							return nil, fmt.Errorf("statespace: frontier exploration exceeds the %d-state cap", maxStates)
-						}
-						l = ss.table.Add(ck.to[at])
-					}
-					ss.succ = append(ss.succ, l)
-					ss.prob = append(ss.prob, ck.prob[at])
-					at++
-				}
-				ss.off = append(ss.off, int64(len(ss.succ)))
-			}
-		}
-		lo = hi
-	}
-	ss.States = ss.table.Len()
-	ss.canonicalize()
-	return ss, nil
+	return b.seal(true), nil
 }
 
 // EncodeConfigs validates each configuration against a's process domains
@@ -321,20 +223,54 @@ func BuildFromConfigs(a protocol.Algorithm, pol scheduler.Policy, cfgs []protoco
 	return BuildFrom(a, pol, seeds, opt)
 }
 
-// canonicalize renumbers local ids into ascending-global order and remaps
-// the CSR accordingly. Discovery order depends on the seed ordering and
-// BFS schedule; ascending-global order is a canonical function of the seed
-// *set*, aligns subspace iteration order with full-space iteration order
-// (so analyses pick identical witnesses), and — because row targets were
-// merged in ascending *global* order — keeps every remapped row sorted
-// without re-sorting.
-func (ss *SubSpace) canonicalize() {
-	globals := ss.table.Globals()
-	order := make([]int32, ss.States) // new id -> old id
+// canonicalOrder returns the permutation (new id -> old id) that sorts
+// local ids into ascending-global order.
+func canonicalOrder(globals []int64) []int32 {
+	order := make([]int32, len(globals))
 	for i := range order {
 		order[i] = int32(i)
 	}
 	sort.Slice(order, func(i, j int) bool { return globals[order[i]] < globals[order[j]] })
+	return order
+}
+
+// permuteCSR writes the CSR triple and legitimacy vector permuted by order
+// (new id -> old id) into fresh arrays, remapping row targets through the
+// inverse permutation. Because row targets were merged in ascending
+// *global* order, every remapped row stays sorted without re-sorting.
+func permuteCSR(order []int32, off []int64, succ []int32, prob []float64, legit []bool) ([]int64, []int32, []float64, []bool) {
+	n := len(order)
+	perm := make([]int32, n) // old id -> new id
+	for newID, old := range order {
+		perm[old] = int32(newID)
+	}
+	newOff := make([]int64, n+1)
+	newSucc := make([]int32, len(succ))
+	newProb := make([]float64, len(prob))
+	newLegit := make([]bool, n)
+	at := int64(0)
+	for newID, old := range order {
+		newOff[newID] = at
+		row := succ[off[old]:off[old+1]]
+		prow := prob[off[old]:off[old+1]]
+		for j, t := range row {
+			newSucc[at+int64(j)] = perm[t]
+			newProb[at+int64(j)] = prow[j]
+		}
+		at += int64(len(row))
+		newLegit[newID] = legit[old]
+	}
+	newOff[n] = at
+	return newOff, newSucc, newProb, newLegit
+}
+
+// canonicalize renumbers local ids into ascending-global order and remaps
+// the CSR accordingly. Discovery order depends on the seed ordering and
+// BFS schedule; ascending-global order is a canonical function of the seed
+// *set* and aligns subspace iteration order with full-space iteration
+// order (so analyses pick identical witnesses).
+func (ss *SubSpace) canonicalize() {
+	order := canonicalOrder(ss.table.Globals())
 	sorted := true
 	for i, old := range order {
 		if int(old) != i {
@@ -345,27 +281,6 @@ func (ss *SubSpace) canonicalize() {
 	if sorted {
 		return
 	}
-	perm := make([]int32, ss.States) // old id -> new id
-	for newID, old := range order {
-		perm[old] = int32(newID)
-	}
-	newOff := make([]int64, ss.States+1)
-	newSucc := make([]int32, len(ss.succ))
-	newProb := make([]float64, len(ss.prob))
-	newLegit := make([]bool, ss.States)
-	at := int64(0)
-	for newID, old := range order {
-		newOff[newID] = at
-		row := ss.succ[ss.off[old]:ss.off[old+1]]
-		prow := ss.prob[ss.off[old]:ss.off[old+1]]
-		for j, t := range row {
-			newSucc[at+int64(j)] = perm[t]
-			newProb[at+int64(j)] = prow[j]
-		}
-		at += int64(len(row))
-		newLegit[newID] = ss.Legit[old]
-	}
-	newOff[ss.States] = at
-	ss.off, ss.succ, ss.prob, ss.Legit = newOff, newSucc, newProb, newLegit
+	ss.off, ss.succ, ss.prob, ss.Legit = permuteCSR(order, ss.off, ss.succ, ss.prob, ss.Legit)
 	ss.table.Renumber(order)
 }

@@ -487,7 +487,11 @@ func (ss *SubSpace) readFromCapped(r io.Reader, maxStates int64) (int64, error) 
 	ss.States = int(h.states)
 	ss.Legit = legit
 	ss.off, ss.succ, ss.prob = off, succ, prob
-	ss.table = NewDedupFromGlobals(h.total, globals)
+	// The Globals section was validated strictly ascending, and a loaded
+	// subspace never grows: the sealed binary-search table avoids both the
+	// dense O(range) array and the per-entry hash insertion of a growable
+	// dedup (a Builder re-adopting this subspace builds its own).
+	ss.table = NewSortedDedup(globals)
 	// Reset the cached reverse view: it described the replaced CSR.
 	ss.revOnce = sync.Once{}
 	ss.rev = Reverse{}

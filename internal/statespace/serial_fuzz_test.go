@@ -1,0 +1,126 @@
+package statespace
+
+// Native fuzzing of the serialization readers. The frontier/dedup/serial
+// stack feeds every cached analysis, so the contract under hostile bytes
+// must be absolute: an arbitrary mutation of a serialized space either
+// fails cleanly (an error — wrong magic, shape violation, checksum
+// mismatch) or decodes to a system whose re-serialization reproduces the
+// input bytes exactly (the CRC-64 passed, so the payload was untouched).
+// Panics, hangs and silently-wrong spaces are all failures. Seeds are
+// valid serializations of small explored systems; the fuzzer mutates from
+// there into the interesting near-valid region.
+
+import (
+	"bytes"
+	"testing"
+
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/scheduler"
+)
+
+func fuzzRing(f *testing.F, n int) *tokenring.Algorithm {
+	f.Helper()
+	a, err := tokenring.New(n)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return a
+}
+
+// FuzzReadSpace mutates serialized full spaces: ReadSpace must error or
+// round-trip bit-identically, never panic.
+func FuzzReadSpace(f *testing.F) {
+	a := fuzzRing(f, 4)
+	pol := scheduler.CentralPolicy{}
+	sp, err := Build(a, pol, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sp.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// (mutations cover truncations)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSpace(bytes.NewReader(data), a, pol, 1, 0)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted space failed to re-serialize: %v", err)
+		}
+		// ReadSpace consumed exactly out.Len() bytes; trailing garbage is
+		// legitimately ignored, but the consumed prefix must match — the
+		// checksum leaves no room for an accepted-but-different payload.
+		if out.Len() > len(data) || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("accepted space re-serializes to %d bytes differing from its input", out.Len())
+		}
+	})
+}
+
+// FuzzReadSubSpace is the subspace analogue, with the Globals section and
+// its strict-ascent validation in play.
+func FuzzReadSubSpace(f *testing.F) {
+	a := fuzzRing(f, 5)
+	pol := scheduler.CentralPolicy{}
+	seeds := []int64{0, 1, 7, 13} // inside tokenring(5)'s 2^5-configuration range
+	ss, err := BuildFrom(a, pol, seeds, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ss.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:40])
+	f.Add([]byte("WSSC\x01\x00\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSubSpace(bytes.NewReader(data), a, pol, 1, 0)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted subspace failed to re-serialize: %v", err)
+		}
+		if out.Len() > len(data) || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("accepted subspace re-serializes to %d bytes differing from its input", out.Len())
+		}
+	})
+}
+
+// FuzzReadFromSubSpace drives the lower-level ReadFrom seam directly on a
+// receiver bound to a mismatched instance, so the dimension validation
+// paths get fuzzed too: a stream for one instance must never load into
+// another.
+func FuzzReadFromSubSpace(f *testing.F) {
+	a := fuzzRing(f, 5)
+	other := fuzzRing(f, 4)
+	pol := scheduler.CentralPolicy{}
+	ss, err := BuildFrom(a, pol, []int64{0, 3}, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ss.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSubSpace(bytes.NewReader(data), other, pol, 1, 0)
+		if err != nil {
+			return
+		}
+		// tokenring(4) lives in a 3^4 = 81-configuration range, the seeded
+		// tokenring(5) stream in a 2^5 = 32 one: any accepted stream must
+		// carry the receiver's total (the seed corpus entry itself must be
+		// rejected).
+		if got.TotalConfigs() != 81 {
+			t.Fatalf("subspace with total %d accepted for an 81-configuration instance", got.TotalConfigs())
+		}
+	})
+}
