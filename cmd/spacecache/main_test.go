@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/scheduler"
+	"weakstab/internal/spacecache"
+	"weakstab/internal/statespace"
+)
+
+// primeCache populates a temp cache with two spaces whose last-use order is
+// known (ring 4 older than ring 5) and returns the directory and the keys
+// oldest-first.
+func primeCache(t *testing.T) (dir string, keys []string) {
+	t.Helper()
+	dir = t.TempDir()
+	cache, err := spacecache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := scheduler.CentralPolicy{}
+	for i, n := range []int{4, 5} {
+		a, err := tokenring.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cache.BuildSpace(a, pol, statespace.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		key := spacecache.Key(a, pol)
+		keys = append(keys, key)
+		stamp := time.Now().Add(-time.Hour + time.Duration(i)*time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, key+".space"), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, keys
+}
+
+func TestStats(t *testing.T) {
+	dir, keys := primeCache(t)
+	var out strings.Builder
+	if err := run([]string{"stats", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 entries,") {
+		t.Fatalf("stats output missing totals:\n%s", got)
+	}
+	// Oldest first: the eviction order gc would use.
+	if i, j := strings.Index(got, keys[0]), strings.Index(got, keys[1]); i < 0 || j < 0 || i > j {
+		t.Fatalf("stats not oldest-first (%d vs %d):\n%s", i, j, got)
+	}
+}
+
+func TestGCCommand(t *testing.T) {
+	dir, keys := primeCache(t)
+	var out strings.Builder
+	if err := run([]string{"gc", "-dir", dir, "-max-bytes", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 entries deleted, 0 bytes remain") {
+		t.Fatalf("gc output:\n%s", got)
+	}
+	if i, j := strings.Index(got, keys[0]), strings.Index(got, keys[1]); i < 0 || j < 0 || i > j {
+		t.Fatalf("gc did not delete oldest-first:\n%s", got)
+	}
+	for _, key := range keys {
+		if _, err := os.Stat(filepath.Join(dir, key+".space")); !os.IsNotExist(err) {
+			t.Fatalf("entry %s survived gc -max-bytes 0", key)
+		}
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{},                          // no subcommand
+		{"prune", "-dir", "x"},      // unknown subcommand
+		{"stats"},                   // missing -dir
+		{"gc", "-dir", t.TempDir()}, // gc without -max-bytes
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("run(%q) accepted bad usage", args)
+		}
+	}
+	// Inspecting a nonexistent directory must fail, not create it.
+	missing := filepath.Join(t.TempDir(), "nope")
+	if err := run([]string{"stats", "-dir", missing}, &out); err == nil {
+		t.Fatal("stats created a missing directory")
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Fatal("stats left a directory behind")
+	}
+}

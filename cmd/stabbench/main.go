@@ -34,6 +34,7 @@ func run() int {
 		trials     = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
 		workers    = flag.Int("workers", 0, "state-space exploration workers (0 = all CPUs)")
 		cacheDir   = flag.String("cache", "", "on-disk space cache directory: repeated runs load explored spaces instead of rebuilding them")
+		mmap       = flag.Bool("mmap", true, "zero-copy mmap-backed cache loads (bit-equal to -mmap=false, which stream-decodes)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	)
@@ -75,7 +76,7 @@ func run() int {
 		}()
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials, Workers: *workers, CacheDir: *cacheDir}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials, Workers: *workers, CacheDir: *cacheDir, NoMmap: !*mmap}
 	if *runID == "" {
 		if err := experiments.RunAll(os.Stdout, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "FAIL:", err)

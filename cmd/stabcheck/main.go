@@ -103,6 +103,7 @@ func run(args []string, out io.Writer) error {
 		maxStates = fs.Int64("max-states", 0, "state space cap (0 = default)")
 		workers   = fs.Int("workers", 0, "exploration worker-pool size (0 = all CPUs)")
 		cacheDir  = fs.String("cache", "", "on-disk space cache directory: repeated runs load the explored space instead of rebuilding it")
+		mmap      = fs.Bool("mmap", true, "zero-copy mmap-backed cache loads (bit-equal to -mmap=false, which stream-decodes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -125,6 +126,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cache.SetMmap(*mmap)
 	opt := statespace.Options{MaxStates: *maxStates, Workers: *workers}
 
 	if *kmax >= 0 {
@@ -172,6 +174,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer closeSystem(ts)
 	rep, err := core.AnalyzeSpace(ts)
 	if err != nil {
 		return err
@@ -195,6 +198,9 @@ func run(args []string, out io.Writer) error {
 			ss, globals, dist, err = exploreBall(cache, a, pol, *kfaults, opt)
 			if err != nil {
 				return err
+			}
+			if ss != nil {
+				defer ss.Close()
 			}
 		}
 		// A nil subspace (empty legitimate set) yields vacuous verdicts.
@@ -229,6 +235,9 @@ func runSweep(out io.Writer, cache *spacecache.Cache, a protocol.Algorithm, pol 
 	if err != nil {
 		return err
 	}
+	if res.Sub != nil {
+		defer res.Sub.Close()
+	}
 	fmt.Fprintf(out, "incremental k-fault sweep of %s under %s scheduler (k = 0..%d)\n",
 		a.Name(), pol.Name(), kmax)
 	for _, v := range res.Verdicts {
@@ -260,6 +269,14 @@ func runSweep(out io.Writer, cache *spacecache.Cache, a protocol.Algorithm, pol 
 // empty.
 func exploreBall(cache *spacecache.Cache, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
 	return checker.BallClosureWith(checker.CacheSources(cache), a, pol, k, opt)
+}
+
+// closeSystem releases the mapping of a zero-copy cache-loaded system once
+// the run is done with it; a no-op for built or decoded systems.
+func closeSystem(ts statespace.TransitionSystem) {
+	if c, ok := ts.(interface{ Close() error }); ok {
+		c.Close()
+	}
 }
 
 // parseSeeds parses "1,0,2;0,0,0" into configurations of n states.

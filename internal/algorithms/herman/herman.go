@@ -93,6 +93,28 @@ func (a *Algorithm) Outcomes(cfg protocol.Configuration, p, _ int) []protocol.Ou
 // ActionName implements protocol.Algorithm.
 func (a *Algorithm) ActionName(int) string { return "update" }
 
+// EnumerateLegitimate implements protocol.LegitEnumerator: the legitimate
+// set in closed form, without scanning the 2^n index range. A single-token
+// configuration is determined by its token holder p and the bit b = x_p
+// there: every q ≠ p must not hold a token (x_q ≠ x_{q-1}), so the bits
+// alternate along the ring from x_p = b — x_{(p+j) mod n} = b XOR (j mod 2)
+// — and the wrap x_{p-1} = b XOR ((n-1) mod 2) = b (n odd) closes the one
+// equality at p itself. Every (p, b) pair yields a distinct configuration,
+// so |L| = 2n. The yielded slice is reused between calls.
+func (a *Algorithm) EnumerateLegitimate(yield func(protocol.Configuration) bool) {
+	cfg := make(protocol.Configuration, a.n)
+	for p := 0; p < a.n; p++ {
+		for b := 0; b < 2; b++ {
+			for j := 0; j < a.n; j++ {
+				cfg[(p+j)%a.n] = b ^ (j % 2)
+			}
+			if !yield(cfg) {
+				return
+			}
+		}
+	}
+}
+
 // Legitimate implements protocol.Algorithm: exactly one token.
 func (a *Algorithm) Legitimate(cfg protocol.Configuration) bool {
 	count := 0

@@ -141,6 +141,59 @@ func TestTokenVisitsEveryProcess(t *testing.T) {
 	}
 }
 
+func TestEnumerateLegitimateClosedForm(t *testing.T) {
+	// The closed-form enumeration yields exactly the configurations the
+	// legitimacy predicate accepts over the full index range: |L| = 2n
+	// distinct single-token configurations, no duplicates, no strays.
+	var _ protocol.LegitEnumerator = (*Algorithm)(nil)
+	for _, n := range []int{3, 5, 7} {
+		a := mustNew(t, n)
+		enc, err := protocol.NewEncoder(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enumerated := map[int64]bool{}
+		a.EnumerateLegitimate(func(cfg protocol.Configuration) bool {
+			if !a.Legitimate(cfg) {
+				t.Fatalf("n=%d: enumerated non-legitimate %v (%d tokens)", n, cfg, len(a.TokenHolders(cfg)))
+			}
+			g := enc.Encode(cfg)
+			if enumerated[g] {
+				t.Fatalf("n=%d: %v enumerated twice", n, cfg)
+			}
+			enumerated[g] = true
+			return true
+		})
+		if len(enumerated) != 2*n {
+			t.Fatalf("n=%d: enumerated %d configurations, want |L| = %d", n, len(enumerated), 2*n)
+		}
+		scanned := 0
+		cfg := make(protocol.Configuration, n)
+		for g := int64(0); g < enc.Total(); g++ {
+			cfg = enc.Decode(g, cfg)
+			if a.Legitimate(cfg) {
+				scanned++
+				if !enumerated[g] {
+					t.Fatalf("n=%d: legitimate %v missed by the enumeration", n, cfg)
+				}
+			}
+		}
+		if scanned != len(enumerated) {
+			t.Fatalf("n=%d: scan found %d legitimate configurations, enumeration %d", n, scanned, len(enumerated))
+		}
+	}
+
+	// An early-false yield stops the enumeration immediately.
+	count := 0
+	mustNew(t, 5).EnumerateLegitimate(func(protocol.Configuration) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("enumeration ignored a false yield (saw %d calls)", count)
+	}
+}
+
 func TestName(t *testing.T) {
 	if mustNew(t, 3).Name() != "herman(n=3)" {
 		t.Fatal("Name wrong")

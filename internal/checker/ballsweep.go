@@ -424,7 +424,9 @@ type SweepResult struct {
 	BreaksCertainAt  int
 	BreaksPossibleAt int
 	// Sub is the sealed closure at the last walked radius (nil when the
-	// legitimate set is empty), with Globals/Dist the matching ball.
+	// legitimate set is empty), with Globals/Dist the matching ball. When
+	// the last radius was served from a warm cache, Sub may own a zero-copy
+	// file mapping — Close it when done (a no-op otherwise).
 	Sub     *statespace.SubSpace
 	Globals []int64
 	Dist    []int
@@ -519,6 +521,12 @@ func SweepKFaults(src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax 
 		}
 		res.ClosureStates = append(res.ClosureStates, states)
 		res.CacheHits = append(res.CacheHits, hit)
+		if res.Sub != nil && res.Sub != ss {
+			// A warm-loaded subspace may own a zero-copy mapping; release it
+			// once the walk has extended past its radius (ResumeBallSweep
+			// deep-copied whatever it needed).
+			res.Sub.Close()
+		}
 		res.Sub, res.Globals, res.Dist = ss, globals, dist
 		if !v.Possible && res.BreaksPossibleAt < 0 {
 			res.BreaksPossibleAt = k

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"weakstab/internal/algorithms/dijkstra"
+	"weakstab/internal/algorithms/herman"
 	"weakstab/internal/algorithms/tokenring"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
@@ -59,7 +60,11 @@ func enumeratorAlgorithms(t *testing.T) []protocol.LegitEnumerator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []protocol.LegitEnumerator{ring, ablation, dk}
+	hr, err := herman.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []protocol.LegitEnumerator{ring, ablation, dk, hr}
 }
 
 func int64sEqual(a, b []int64) bool {

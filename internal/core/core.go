@@ -103,6 +103,29 @@ type Options struct {
 	// the instance's space, and populates it otherwise. A loaded space is
 	// bit-identical to a built one, so the report is unchanged either way.
 	CacheDir string
+	// NoMmap forces cache loads onto the streaming decode path instead of
+	// the default zero-copy mmap path. The two are bit-equal; decoding
+	// trades load time for freedom from mapping lifetimes.
+	NoMmap bool
+}
+
+// openCache opens the options' cache with the options' load mode applied.
+func (o Options) openCache() (*spacecache.Cache, error) {
+	cache, err := spacecache.Open(o.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cache.SetMmap(!o.NoMmap)
+	return cache, nil
+}
+
+// closeSystem releases the mapping of a cache-loaded zero-copy system; on
+// anything else it is a no-op. Analyses that consume a system internally
+// (AnalyzeWith, AnalyzeFrom) close it before returning.
+func closeSystem(ts statespace.TransitionSystem) {
+	if c, ok := ts.(interface{ Close() error }); ok {
+		c.Close()
+	}
 }
 
 // spaceOptions lowers the analysis options to exploration options.
@@ -123,14 +146,15 @@ func Analyze(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Repo
 // Options.CacheDir set, "once" extends across process runs: the explored
 // space is persisted and later invocations load it instead of exploring.
 func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Report, error) {
-	cache, err := spacecache.Open(opt.CacheDir)
+	cache, err := opt.openCache()
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
 	ts, _, err := cache.BuildSpace(a, pol, opt.spaceOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s: %w", a.Name(), err)
 	}
+	defer closeSystem(ts)
 	return AnalyzeSpace(ts)
 }
 
@@ -142,14 +166,15 @@ func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Repo
 // k-fault and unsupportive-environment analyses this enables explore balls
 // of thousands of states inside spaces of millions.
 func AnalyzeFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Configuration, opt Options) (*Report, error) {
-	cache, err := spacecache.Open(opt.CacheDir)
+	cache, err := opt.openCache()
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
 	ss, _, err := cache.BuildSubSpaceFromConfigs(a, pol, seeds, opt.spaceOptions())
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s from %d seeds: %w", a.Name(), len(seeds), err)
 	}
+	defer closeSystem(ss)
 	return AnalyzeSpace(ss)
 }
 
@@ -164,9 +189,9 @@ func AnalyzeFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Co
 // enumerations and sealed closures persist across process runs, so a warm
 // sweep is exploration-free.
 func SweepKFaults(a protocol.Algorithm, pol scheduler.Policy, kmax int, opt Options, stopAtBreak bool) (*checker.SweepResult, error) {
-	cache, err := spacecache.Open(opt.CacheDir)
+	cache, err := opt.openCache()
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
 	res, err := checker.SweepKFaults(checker.CacheSources(cache), a, pol, kmax, opt.spaceOptions(), stopAtBreak)
 	if err != nil {
@@ -180,7 +205,20 @@ func SweepKFaults(a protocol.Algorithm, pol scheduler.Policy, kmax int, opt Opti
 // statespace.SubSpace — without any further enumeration. Over a subspace,
 // every property is restricted to the explored (reachable) states; this is
 // sound because a subspace is closed under successors.
+//
+// A zero-copy mapped system (loaded through the cache's mmap path) is
+// pinned for the duration of the analysis, so a concurrent Close cannot
+// unmap the arrays mid-pass.
 func AnalyzeSpace(ts statespace.TransitionSystem) (*Report, error) {
+	if p, ok := ts.(interface {
+		Acquire() error
+		Release() error
+	}); ok {
+		if err := p.Acquire(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		defer p.Release()
+	}
 	a := ts.Algorithm()
 	sp := checker.FromSpace(ts)
 	closure := sp.CheckClosure()

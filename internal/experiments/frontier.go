@@ -53,6 +53,7 @@ func runE18(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
+	cache.SetMmap(!opt.NoMmap)
 	ssOpt := statespace.Options{Workers: opt.Workers}
 
 	// Full-space reference verdicts (the classic path) — through the cache,
@@ -61,6 +62,7 @@ func runE18(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
+	defer fullTS.Close() // releases the mapping on a warm zero-copy load
 	full := checker.FromSpace(fullTS)
 	dist := full.DistanceToLegitimate()
 
@@ -74,6 +76,7 @@ func runE18(w io.Writer, opt Options) error {
 	if ballSS == nil {
 		return fmt.Errorf("legitimate set of %s is empty", inner.Name())
 	}
+	defer ballSS.Close()
 	verdicts := checker.BallVerdictsOver(ballSS, checker.BallLocalDistances(ballSS, globals, ballDist), maxK)
 	ballSp := checker.FromSpace(ballSS)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -107,6 +110,7 @@ func runE18(w io.Writer, opt Options) error {
 	if ss == nil {
 		return fmt.Errorf("legitimate set of %s is empty", trans.Name())
 	}
+	defer ss.Close()
 	sub := checker.FromSpace(ss)
 	closure := sub.CheckClosure()
 	certain := sub.CheckPossibleConvergence()

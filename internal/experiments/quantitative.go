@@ -166,10 +166,12 @@ func meanHittingTime(a protocol.Algorithm, pol scheduler.Policy, opt Options) (f
 	if err != nil {
 		return 0, err
 	}
+	cache.SetMmap(!opt.NoMmap)
 	ts, _, err := cache.BuildSpace(a, pol, statespace.Options{MaxStates: statespace.IndexLimit, Workers: opt.Workers})
 	if err != nil {
 		return 0, err
 	}
+	defer ts.Close() // releases the mapping on a warm zero-copy load
 	chain, err := markov.FromSpace(ts)
 	if err != nil {
 		return 0, err

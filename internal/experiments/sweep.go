@@ -118,9 +118,12 @@ func runE19(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	dres, err := core.SweepKFaults(dk, pol, dn, Options{Workers: opt.Workers, CacheDir: opt.CacheDir}.coreOptions(), true)
+	dres, err := core.SweepKFaults(dk, pol, dn, opt.coreOptions(), true)
 	if err != nil {
 		return err
+	}
+	if dres.Sub != nil {
+		defer dres.Sub.Close() // a warm-cache sweep may hand back a mapped closure
 	}
 	if dres.BreaksCertainAt >= 0 {
 		return fmt.Errorf("%s must never break certain convergence, broke at k=%d", dk.Name(), dres.BreaksCertainAt)
@@ -133,5 +136,5 @@ func runE19(w io.Writer, opt Options) error {
 
 // coreOptions lowers experiment options to core analysis options.
 func (o Options) coreOptions() core.Options {
-	return core.Options{Workers: o.Workers, CacheDir: o.CacheDir}
+	return core.Options{Workers: o.Workers, CacheDir: o.CacheDir, NoMmap: o.NoMmap}
 }

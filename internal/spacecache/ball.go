@@ -62,7 +62,8 @@ func (c *Cache) LoadBall(a protocol.Algorithm, k int, maxStates int64) ([]int64,
 	if c == nil {
 		return nil, nil, false
 	}
-	f, err := os.Open(c.ballPath(BallKey(a, k)))
+	path := c.ballPath(BallKey(a, k))
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, false
 	}
@@ -71,6 +72,7 @@ func (c *Cache) LoadBall(a protocol.Algorithm, k int, maxStates int64) ([]int64,
 	if err != nil {
 		return nil, nil, false
 	}
+	touch(path)
 	return globals, dist, true
 }
 

@@ -1,0 +1,110 @@
+// Cache lifecycle: listing and eviction. Entries are self-describing —
+// identity from the filename (key stem + kind extension), size and
+// last-use from the inode, where every load's touch keeps last-use
+// current — so the size+age policy needs no index file that could go
+// stale or corrupt. GC deletes whole files, oldest first, and only files
+// of the cache's own kinds: anything else in the directory (temp files
+// mid-rename, user files) is never touched.
+//
+// Deleting a mapped entry is safe on the platforms that map: unlink frees
+// the directory entry, the inode and its pages survive until the last
+// mapping closes. A reader that loses the race to a gc simply misses and
+// rebuilds — the cache's one contract, never a wrong answer.
+
+package spacecache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// cacheExts are the filename extensions the cache owns, the only files
+// Entries reports and GC may delete.
+var cacheExts = map[string]bool{".space": true, ".subspace": true, ".ball": true}
+
+// Entry describes one cache file.
+type Entry struct {
+	Key     string // hex key, the filename stem
+	Kind    string // "space", "subspace" or "ball"
+	Path    string
+	Bytes   int64
+	LastUse time.Time // maintained by load-path touches; mtime at rest
+}
+
+// Entries lists the cache's files, oldest last-use first (GC's eviction
+// order), ties broken by path so the order is deterministic. A nil cache
+// has no entries.
+func (c *Cache) Entries() ([]Entry, error) {
+	if c == nil {
+		return nil, nil
+	}
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("spacecache: %w", err)
+	}
+	var out []Entry
+	for _, de := range des {
+		name := de.Name()
+		ext := filepath.Ext(name)
+		if de.IsDir() || !cacheExts[ext] {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // lost a race with a concurrent delete
+		}
+		out = append(out, Entry{
+			Key:     strings.TrimSuffix(name, ext),
+			Kind:    ext[1:],
+			Path:    filepath.Join(c.dir, name),
+			Bytes:   info.Size(),
+			LastUse: info.ModTime(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].LastUse.Equal(out[j].LastUse) {
+			return out[i].LastUse.Before(out[j].LastUse)
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out, nil
+}
+
+// GC deletes least-recently-used entries until the entries that remain
+// total at most maxBytes (0 empties the cache). Eviction is whole-file:
+// surviving entries are never rewritten, so they stay valid — and
+// deleting an entry some process still has mapped is safe, see the
+// package comment. It returns the deleted entries and the byte total of
+// the survivors; undeletable files are kept (and counted) rather than
+// failing the sweep.
+func (c *Cache) GC(maxBytes int64) (deleted []Entry, remaining int64, err error) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	entries, err := c.Entries()
+	if err != nil {
+		return nil, 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.Bytes
+	}
+	var errs []error
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if rmErr := os.Remove(e.Path); rmErr != nil && !os.IsNotExist(rmErr) {
+			errs = append(errs, rmErr)
+			continue
+		}
+		total -= e.Bytes
+		deleted = append(deleted, e)
+	}
+	return deleted, total, errors.Join(errs...)
+}

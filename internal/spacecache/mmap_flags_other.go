@@ -1,0 +1,8 @@
+//go:build unix && !linux
+
+package spacecache
+
+import "syscall"
+
+// mapFlags: plain shared mapping; pages fault in on demand.
+const mapFlags = syscall.MAP_SHARED

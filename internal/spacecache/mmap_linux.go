@@ -1,0 +1,10 @@
+//go:build linux
+
+package spacecache
+
+import "syscall"
+
+// mapFlags on Linux adds MAP_POPULATE: the load's CRC pass reads every
+// page anyway, and one prefaulting syscall is several times cheaper than
+// thousands of on-demand minor faults over the mapping.
+const mapFlags = syscall.MAP_SHARED | syscall.MAP_POPULATE

@@ -35,6 +35,8 @@ import (
 	"path/filepath"
 	"slices"
 	"strings"
+	"sync"
+	"time"
 
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
@@ -43,8 +45,67 @@ import (
 
 // Cache is an on-disk store of serialized transition systems. The zero
 // value and the nil pointer are both valid "no caching" caches.
+//
+// Where the platform supports it, loads are zero-copy by default: the
+// cache file is mmap'd read-only and the CSR sections alias the mapping
+// (statespace.MapSpace/MapSubSpace), so a warm analysis touches only the
+// pages it reads instead of decoding every byte. Systems loaded this way
+// own a mapping and should be Closed by the caller when done (a finalizer
+// reclaims forgotten ones); callers that cannot tolerate that ownership
+// turn the path off with SetMmap(false) and get plain decoded heap
+// arrays, bit-equal by construction.
+//
+// The first mapped load of an entry validates the whole file (checksum
+// and structure). Its (device, inode, size, mtime) identity is then
+// memoized, and later loads of bytes with the same identity skip the
+// O(bytes) passes — the sublinear warm path. Every write in this package
+// replaces files by rename (fresh inode) and touch moves mtime on each
+// use, so any rewritten or externally modified entry falls off the memo
+// and is re-validated in full.
 type Cache struct {
-	dir string
+	dir    string
+	noMmap bool
+
+	mu        sync.Mutex
+	validated map[string]fileStamp // path → identity of the last fully validated bytes
+}
+
+// fileStamp is the identity the validation memo trusts: same device,
+// inode, size and mtime means the same bytes that already passed a full
+// validation by this cache instance.
+type fileStamp struct {
+	dev, ino uint64
+	size     int64
+	mtimeNS  int64
+}
+
+// trustedStamp reports whether st matches the memoized identity of the
+// bytes last validated at path.
+func (c *Cache) trustedStamp(path string, st fileStamp) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.validated[path]
+	return ok && prev == st
+}
+
+// memoize records path's current (post-touch) identity as fully
+// validated, so the next load of the same bytes can take the trusted
+// path. Best-effort: a failed stat just means the next load re-validates.
+func (c *Cache) memoize(path string) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	st, ok := stampOf(fi)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	if c.validated == nil {
+		c.validated = make(map[string]fileStamp)
+	}
+	c.validated[path] = st
+	c.mu.Unlock()
 }
 
 // Open returns a cache rooted at dir, creating the directory if needed.
@@ -66,6 +127,30 @@ func (c *Cache) Dir() string {
 		return ""
 	}
 	return c.dir
+}
+
+// SetMmap toggles the zero-copy mmap load path, on by default where the
+// platform supports it. Off means every load stream-decodes into heap
+// arrays with no Close obligation. A nil cache ignores the call.
+func (c *Cache) SetMmap(on bool) {
+	if c != nil {
+		c.noMmap = !on
+	}
+}
+
+// MmapEnabled reports whether loads attempt the zero-copy path.
+func (c *Cache) MmapEnabled() bool {
+	return c != nil && !c.noMmap && mmapSupported
+}
+
+// touch bumps the entry's last-use time — the age signal GC evicts by.
+// It rewrites both atime and mtime: bare atime is frozen or lazy under
+// the common noatime/relatime mount options, and cache files are written
+// once and never modified, so mtime is free to carry "last used". Errors
+// are ignored; last-use is advisory.
+func touch(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 }
 
 // canonicalInstance renders the policy-free cache identity of an algorithm
@@ -131,11 +216,36 @@ func (c *Cache) subPath(key string) string   { return filepath.Join(c.dir, key+"
 // any miss — no file, or a file that fails validation (truncated,
 // corrupted, wrong version, or beyond opt.MaxStates). A miss is never an
 // error: the caller rebuilds and the rebuild's Store overwrites bad bytes.
+//
+// With the mmap path enabled (the default) a hit is zero-copy and the
+// returned space owns a file mapping — Close it when done. Buffers the
+// mapped loader declines (ErrNotMappable) fall back to the decode path
+// below, bit-equal.
 func (c *Cache) LoadSpace(a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options) (*statespace.Space, bool) {
 	if c == nil {
 		return nil, false
 	}
-	f, err := os.Open(c.spacePath(Key(a, pol)))
+	path := c.spacePath(Key(a, pol))
+	if c.MmapEnabled() {
+		if data, unmap, fi, err := mmapOpen(path); err == nil {
+			var sp *statespace.Space
+			if st, ok := stampOf(fi); ok && c.trustedStamp(path, st) {
+				sp, err = statespace.MapSpaceTrusted(data, a, pol, opt.Workers, opt.MaxStates, unmap)
+			} else {
+				sp, err = statespace.MapSpace(data, a, pol, opt.Workers, opt.MaxStates, unmap)
+			}
+			if err == nil {
+				touch(path)
+				c.memoize(path)
+				return sp, true
+			}
+			unmap()
+			// Fall through: ErrNotMappable (and any validation failure)
+			// degrades to the streaming decoder, which re-derives the
+			// hit-or-miss verdict on its own.
+		}
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, false
 	}
@@ -146,6 +256,7 @@ func (c *Cache) LoadSpace(a protocol.Algorithm, pol scheduler.Policy, opt states
 	if err != nil {
 		return nil, false
 	}
+	touch(path)
 	return sp, true
 }
 
@@ -159,13 +270,30 @@ func (c *Cache) StoreSpace(sp *statespace.Space) error {
 }
 
 // LoadSubSpace returns the cached subspace of (a, pol, seed set), or
-// (nil, false) on any miss, with the same degrade-to-rebuild contract as
-// LoadSpace.
+// (nil, false) on any miss, with the same degrade-to-rebuild and
+// mmap-ownership contracts as LoadSpace.
 func (c *Cache) LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, bool) {
 	if c == nil {
 		return nil, false
 	}
-	f, err := os.Open(c.subPath(SubKey(a, pol, seeds)))
+	path := c.subPath(SubKey(a, pol, seeds))
+	if c.MmapEnabled() {
+		if data, unmap, fi, err := mmapOpen(path); err == nil {
+			var ss *statespace.SubSpace
+			if st, ok := stampOf(fi); ok && c.trustedStamp(path, st) {
+				ss, err = statespace.MapSubSpaceTrusted(data, a, pol, opt.Workers, opt.MaxStates, unmap)
+			} else {
+				ss, err = statespace.MapSubSpace(data, a, pol, opt.Workers, opt.MaxStates, unmap)
+			}
+			if err == nil {
+				touch(path)
+				c.memoize(path)
+				return ss, true
+			}
+			unmap()
+		}
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, false
 	}
@@ -177,6 +305,7 @@ func (c *Cache) LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds [
 	if err != nil {
 		return nil, false
 	}
+	touch(path)
 	return ss, true
 }
 

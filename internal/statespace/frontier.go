@@ -54,6 +54,10 @@ type SubSpace struct {
 	succ []int32   // successor local indexes, sorted ascending per row
 	prob []float64 // transition probabilities aligned with succ
 
+	// mapped is non-nil when the CSR and Globals arrays alias an external
+	// mapped buffer (MapSubSpace); see mapped.go for the lifecycle.
+	mapped *mapping
+
 	revOnce sync.Once
 	rev     Reverse
 }

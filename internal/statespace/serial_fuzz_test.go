@@ -5,13 +5,21 @@ package statespace
 // must be absolute: an arbitrary mutation of a serialized space either
 // fails cleanly (an error — wrong magic, shape violation, checksum
 // mismatch) or decodes to a system whose re-serialization reproduces the
-// input bytes exactly (the CRC-64 passed, so the payload was untouched).
+// input bytes exactly (the CRC-32C passed, so the payload was untouched).
 // Panics, hangs and silently-wrong spaces are all failures. Seeds are
 // valid serializations of small explored systems; the fuzzer mutates from
 // there into the interesting near-valid region.
+//
+// The zero-copy mapped loader is held to a stronger bar still: on a
+// little-endian host with an aligned buffer it must accept exactly the
+// byte strings the streaming decoder accepts — covering, among the shared
+// validation, the Globals-vs-state-count consistency check — and produce
+// bit-equal arrays for them (FuzzMapSpace, FuzzMapSubSpace).
 
 import (
 	"bytes"
+	"errors"
+	"reflect"
 	"testing"
 
 	"weakstab/internal/algorithms/tokenring"
@@ -121,6 +129,96 @@ func FuzzReadFromSubSpace(f *testing.F) {
 		// rejected).
 		if got.TotalConfigs() != 81 {
 			t.Fatalf("subspace with total %d accepted for an 81-configuration instance", got.TotalConfigs())
+		}
+	})
+}
+
+// FuzzMapSpace cross-checks the zero-copy loader against the streaming
+// decoder on mutated full-space bytes: on this host (aligned buffer;
+// big-endian hosts skip inside the loop) the two must agree byte-for-byte
+// on acceptance, arrays and re-serialization. The mapped loader ignores
+// trailing garbage exactly like the stream reader, so equality is over
+// the consumed prefix.
+func FuzzMapSpace(f *testing.F) {
+	a := fuzzRing(f, 4)
+	pol := scheduler.CentralPolicy{}
+	sp, err := Build(a, pol, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sp.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !hostLittleEndian {
+			t.Skip("mapped loads fall back on big-endian hosts")
+		}
+		mapped, mapErr := MapSpace(copyAt(data, 0), a, pol, 1, 0, nil)
+		decoded, decErr := ReadSpace(bytes.NewReader(data), a, pol, 1, 0)
+		if errors.Is(mapErr, ErrNotMappable) {
+			t.Fatalf("aligned little-endian buffer reported ErrNotMappable")
+		}
+		if (mapErr == nil) != (decErr == nil) {
+			t.Fatalf("paths disagree on acceptance: map=%v decode=%v", mapErr, decErr)
+		}
+		if mapErr != nil {
+			return
+		}
+		mo, ms, mp := mapped.CSR()
+		do, ds, dp := decoded.CSR()
+		if mapped.States != decoded.States || !reflect.DeepEqual(mapped.Legit, decoded.Legit) ||
+			!reflect.DeepEqual(mo, do) || !reflect.DeepEqual(ms, ds) || !reflect.DeepEqual(mp, dp) {
+			t.Fatalf("mapped and decoded spaces differ for the same accepted bytes")
+		}
+		var out bytes.Buffer
+		if _, err := mapped.WriteTo(&out); err != nil {
+			t.Fatalf("accepted mapped space failed to re-serialize: %v", err)
+		}
+		if out.Len() > len(data) || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("accepted mapped space re-serializes to %d bytes differing from its input", out.Len())
+		}
+	})
+}
+
+// FuzzMapSubSpace is the subspace analogue, with the Globals section —
+// its state-count consistency and strict-ascent validation — in play on
+// the mapped path.
+func FuzzMapSubSpace(f *testing.F) {
+	a := fuzzRing(f, 5)
+	pol := scheduler.CentralPolicy{}
+	ss, err := BuildFrom(a, pol, []int64{0, 1, 7, 13}, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ss.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:40])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !hostLittleEndian {
+			t.Skip("mapped loads fall back on big-endian hosts")
+		}
+		mapped, mapErr := MapSubSpace(copyAt(data, 0), a, pol, 1, 0, nil)
+		decoded, decErr := ReadSubSpace(bytes.NewReader(data), a, pol, 1, 0)
+		if errors.Is(mapErr, ErrNotMappable) {
+			t.Fatalf("aligned little-endian buffer reported ErrNotMappable")
+		}
+		if (mapErr == nil) != (decErr == nil) {
+			t.Fatalf("paths disagree on acceptance: map=%v decode=%v", mapErr, decErr)
+		}
+		if mapErr != nil {
+			return
+		}
+		mo, ms, mp := mapped.CSR()
+		do, ds, dp := decoded.CSR()
+		if mapped.States != decoded.States || !reflect.DeepEqual(mapped.Legit, decoded.Legit) ||
+			!reflect.DeepEqual(mo, do) || !reflect.DeepEqual(ms, ds) || !reflect.DeepEqual(mp, dp) ||
+			!reflect.DeepEqual(mapped.Globals(), decoded.Globals()) {
+			t.Fatalf("mapped and decoded subspaces differ for the same accepted bytes")
 		}
 	})
 }

@@ -98,6 +98,10 @@ type Space struct {
 	succ []int32   // successor state indexes, sorted per row
 	prob []float64 // transition probabilities aligned with succ
 
+	// mapped is non-nil when the CSR arrays alias an external mapped
+	// buffer (MapSpace); see mapped.go for the Close/Acquire lifecycle.
+	mapped *mapping
+
 	revOnce sync.Once
 	rev     Reverse
 }
