@@ -1,0 +1,87 @@
+package main
+
+// Golden-output tests for the network-simulation CLI. Every run is a pure
+// function of (instance, fault stack, seed) — the backend is bit-identical
+// across worker and shard counts — so the rendered reports are pinned
+// byte-for-byte. Regenerate with
+//
+//	go test ./cmd/stabnetsim -run TestGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the observed output")
+
+func runGolden(t *testing.T, name string, args ...string) {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("output of stabnetsim %s differs from %s:\n--- got ---\n%s--- want ---\n%s",
+			strings.Join(args, " "), path, sb.String(), want)
+	}
+}
+
+func TestGoldenReliable(t *testing.T) {
+	runGolden(t, "coloring64_reliable",
+		"-alg", "coloring", "-n", "64", "-trials", "30", "-net", "loss:0.05")
+}
+
+func TestGoldenHerman(t *testing.T) {
+	runGolden(t, "herman9_reliable",
+		"-alg", "herman", "-n", "9", "-trials", "50")
+}
+
+func TestGoldenRestabilizeFaultStack(t *testing.T) {
+	runGolden(t, "coloring256_restab_fullstack",
+		"-alg", "coloring", "-n", "256", "-restabilize", "24", "-trials", "12",
+		"-net", "latency:uniform:1:2,ge:0.05:0.3:0.01:0.5,dup:0.05,reorder:0.05:3,corrupt:0.01,crash:0.001:3",
+		"-max-rounds", "5000")
+}
+
+// TestGoldenWorkerInvariance reruns a golden case with adversarial worker
+// and shard counts: the report must stay byte-identical — the CLI face of
+// the backend's determinism contract.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	for _, ws := range [][2]string{{"1", "1"}, {"4", "7"}} {
+		runGolden(t, "coloring256_restab_fullstack",
+			"-alg", "coloring", "-n", "256", "-restabilize", "24", "-trials", "12",
+			"-net", "latency:uniform:1:2,ge:0.05:0.3:0.01:0.5,dup:0.05,reorder:0.05:3,corrupt:0.01,crash:0.001:3",
+			"-max-rounds", "5000",
+			"-workers", ws[0], "-shards", ws[1])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "nope"},
+		{"-alg", "coloring", "-n", "64", "-net", "loss:2"},
+		{"-alg", "coloring", "-n", "64", "-net", "warp:0.5"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
@@ -49,21 +48,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rng := rand.New(rand.NewSource(*seed))
 	opts := sim.Options{MaxSteps: *maxSteps}
 
 	if *faults > 0 {
-		summary, err := sim.FaultRecovery(a, s, *bursts, *faults, *period, rng, opts)
+		summary, err := sim.FaultRecovery(a, s, *bursts, *faults, *period, *seed, opts)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s under %s, %d bursts of %d corrupted processes:\n", a.Name(), s.Name(), *bursts, *faults)
+		fmt.Printf("%s under %s, %d bursts of %d corrupted processes (seed %d):\n",
+			a.Name(), s.Name(), *bursts, *faults, *seed)
 		fmt.Printf("  re-stabilization steps: %s\n", summary)
 		return
 	}
 
-	summary, failures := sim.Trials(a, s, *trials, rng, opts)
-	fmt.Printf("%s under %s, %d random-start trials:\n", a.Name(), s.Name(), *trials)
+	summary, failures := sim.Trials(a, s, *trials, *seed, opts)
+	fmt.Printf("%s under %s, %d random-start trials (seed %d):\n", a.Name(), s.Name(), *trials, *seed)
 	fmt.Printf("  convergence steps: %s\n", summary)
 	if failures > 0 {
 		fmt.Printf("  FAILURES: %d runs did not converge within %d steps\n", failures, *maxSteps)

@@ -14,9 +14,11 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"weakstab/internal/algorithms/coloring"
 	"weakstab/internal/algorithms/dijkstra"
 	"weakstab/internal/algorithms/herman"
 	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/graph"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/spacecache"
@@ -64,7 +66,23 @@ func enumeratorAlgorithms(t *testing.T) []protocol.LegitEnumerator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []protocol.LegitEnumerator{ring, ablation, dk, hr}
+	cg, err := graph.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := coloring.New(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := graph.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colStar, err := coloring.New(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []protocol.LegitEnumerator{ring, ablation, dk, hr, col, colStar}
 }
 
 func int64sEqual(a, b []int64) bool {

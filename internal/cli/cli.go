@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"weakstab/internal/algorithms/centers"
+	"weakstab/internal/algorithms/coloring"
 	"weakstab/internal/algorithms/dijkstra"
 	"weakstab/internal/algorithms/herman"
 	"weakstab/internal/algorithms/leadertree"
@@ -23,12 +24,13 @@ import (
 // Spec selects an algorithm instance.
 type Spec struct {
 	// Algorithm is one of: tokenring, leadertree, centerelector,
-	// centerfinder, syncpair, dijkstra, herman.
+	// centerfinder, syncpair, dijkstra, herman, coloring.
 	Algorithm string
 	// N is the number of processes (ignored by syncpair).
 	N int
 	// Topology is chain, star, random or figure2 for tree algorithms
-	// (default chain). Ring algorithms ignore it.
+	// (default chain); coloring also accepts ring (its default). Ring
+	// algorithms ignore it.
 	Topology string
 	// K is Dijkstra's state count (default N) or the token ring modulus
 	// override (default mN).
@@ -43,7 +45,7 @@ type Spec struct {
 
 // Algorithms lists the accepted algorithm names.
 func Algorithms() []string {
-	return []string{"tokenring", "leadertree", "centerelector", "centerfinder", "syncpair", "dijkstra", "herman"}
+	return []string{"tokenring", "leadertree", "centerelector", "centerfinder", "syncpair", "dijkstra", "herman", "coloring"}
 }
 
 func (s Spec) tree() (*graph.Graph, error) {
@@ -102,6 +104,16 @@ func (s Spec) Build() (protocol.Algorithm, error) {
 			return nil, fmt.Errorf("herman is already probabilistic; the transformer requires a deterministic algorithm")
 		}
 		return herman.New(s.N)
+	case "coloring":
+		var g *graph.Graph
+		if strings.EqualFold(s.Topology, "ring") || s.Topology == "" {
+			g, err = graph.Ring(s.N)
+		} else {
+			g, err = s.tree()
+		}
+		if err == nil {
+			det, err = coloring.New(g)
+		}
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q (one of %s)", s.Algorithm, strings.Join(Algorithms(), ", "))
 	}

@@ -1,0 +1,101 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFaults(t *testing.T) {
+	tests := []struct {
+		spec string
+		want []string // Name() of each parsed fault, in stack order
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"loss:0.1", []string{"loss(0.1)"}},
+		{"latency:fixed:3", []string{"latency(fixed:3)"}},
+		{"latency:uniform:1:4", []string{"latency(uniform:1:4)"}},
+		{"latency:geom:2.5", []string{"latency(geom:2.5)"}},
+		{"ge:0.05:0.3:0.01:0.5", []string{"ge(0.05:0.3:0.01:0.5)"}},
+		{"dup:0.2", []string{"dup(0.2)"}},
+		{"reorder:0.1:4", []string{"reorder(0.1:4)"}},
+		{"corrupt:0.02", []string{"corrupt(0.02)"}},
+		{"crash:0.001:4", []string{"crash(0.001:4:reset)"}},
+		{"crash:0.001:4:hold", []string{"crash(0.001:4:hold)"}},
+		{
+			"latency:uniform:1:3, loss:0.05 ,dup:0.1",
+			[]string{"latency(uniform:1:3)", "loss(0.05)", "dup(0.1)"},
+		},
+	}
+	for _, tc := range tests {
+		faults, err := ParseFaults(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseFaults(%q): %v", tc.spec, err)
+		}
+		if len(faults) != len(tc.want) {
+			t.Fatalf("ParseFaults(%q): %d faults, want %d", tc.spec, len(faults), len(tc.want))
+		}
+		for i, f := range faults {
+			if f.Name() != tc.want[i] {
+				t.Fatalf("ParseFaults(%q)[%d] = %s, want %s", tc.spec, i, f.Name(), tc.want[i])
+			}
+		}
+	}
+}
+
+func TestParseFaultsErrors(t *testing.T) {
+	bad := []string{
+		"warp:0.5",            // unknown fault
+		"loss",                // missing probability
+		"loss:1.5",            // probability out of range
+		"loss:x",              // not a number
+		"latency",             // missing distribution
+		"latency:normal:3",    // unknown distribution
+		"latency:fixed",       // missing argument
+		"latency:uniform:4:2", // hi < lo
+		"latency:uniform:0:2", // lo < 1
+		"latency:geom:0.5",    // mean < 1
+		"ge:0.05:0.3:0.01",    // arity
+		"ge:0:0.3:0.01:0.5",   // zero transition probability
+		"reorder:0.1",         // missing bound
+		"reorder:0.1:0",       // bound < 1
+		"crash:0.001",         // missing mean downtime
+		"crash:0.001:0.5",     // downtime < 1
+		"crash:2:4",           // rate out of range
+		"loss:0.1,,dup:0.1",   // empty item
+	}
+	for _, spec := range bad {
+		if _, err := ParseFaults(spec); err == nil {
+			t.Fatalf("ParseFaults(%q) accepted", spec)
+		} else if !strings.Contains(err.Error(), "grammar") {
+			t.Fatalf("ParseFaults(%q) error lacks grammar hint: %v", spec, err)
+		}
+	}
+}
+
+func TestBuildColoring(t *testing.T) {
+	for _, tc := range []struct{ topo, want string }{
+		{"", "coloring(ring(6))"},
+		{"ring", "coloring(ring(6))"},
+		{"star", "coloring(star(6))"},
+	} {
+		a, err := Spec{Algorithm: "coloring", N: 6, Topology: tc.topo}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != tc.want {
+			t.Fatalf("topology %q: Name = %q, want %q", tc.topo, a.Name(), tc.want)
+		}
+	}
+	// Coloring is deterministic, so the transformer applies.
+	a, err := Spec{Algorithm: "coloring", N: 5, Transform: true}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Name(), "trans(coloring") {
+		t.Fatalf("transformed Name = %q", a.Name())
+	}
+	if _, err := (Spec{Algorithm: "coloring", N: 1}).Build(); err == nil {
+		t.Fatal("coloring on one process accepted")
+	}
+}

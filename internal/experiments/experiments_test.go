@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12a", "E12b", "E12c", "E12d", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12a", "E12b", "E12c", "E12d", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
 	}
@@ -111,7 +111,7 @@ func TestDifferentSeedsStillVerify(t *testing.T) {
 	// The Monte-Carlo experiments must verify under several seeds, not
 	// just the default.
 	for _, seed := range []int64{2, 3} {
-		for _, id := range []string{"E12b", "E12d"} {
+		for _, id := range []string{"E12b", "E12d", "E20"} {
 			e, ok := ByID(id)
 			if !ok {
 				t.Fatal("missing experiment")

@@ -204,7 +204,7 @@ func runE12b(w io.Writer, opt Options) error {
 			return err
 		}
 		trans := transformer.New(a)
-		summary, failures := sim.Trials(trans, scheduler.NewDistributedRandomized(), trials, rng, sim.Options{MaxSteps: 2_000_000})
+		summary, failures := sim.Trials(trans, scheduler.NewDistributedRandomized(), trials, rng.Int63(), sim.Options{MaxSteps: 2_000_000})
 		fmt.Fprintf(tw, "trans(tokenring) N=%d\tdist-rand\t%d\t%.1f\t%.1f\t%.1f\t%d\n",
 			n, trials, summary.Mean, summary.CI95(), summary.P95, failures)
 		if failures > 0 {
@@ -231,7 +231,7 @@ func runE12b(w io.Writer, opt Options) error {
 			return err
 		}
 		trans := transformer.New(a)
-		summary, failures := sim.Trials(trans, scheduler.NewDistributedRandomized(), trials, rng, sim.Options{MaxSteps: 2_000_000})
+		summary, failures := sim.Trials(trans, scheduler.NewDistributedRandomized(), trials, rng.Int63(), sim.Options{MaxSteps: 2_000_000})
 		fmt.Fprintf(tw, "trans(leadertree) N=%d\tdist-rand\t%d\t%.1f\t%.1f\t%.1f\t%d\n",
 			n, trials, summary.Mean, summary.CI95(), summary.P95, failures)
 		if failures > 0 {
@@ -333,7 +333,7 @@ func runE12d(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		dkSummary, failures := sim.Trials(dk, scheduler.NewDistributedRandomized(), trials, rng, sim.Options{MaxSteps: 200_000})
+		dkSummary, failures := sim.Trials(dk, scheduler.NewDistributedRandomized(), trials, rng.Int63(), sim.Options{MaxSteps: 200_000})
 		if failures > 0 {
 			return fmt.Errorf("dijkstra n=%d: %d failures", n, failures)
 		}

@@ -1,0 +1,499 @@
+// Package netsim is the message-passing simulation backend: it executes the
+// library's protocol.Algorithms — unchanged — over a round-batched
+// discrete-event network instead of the paper's shared-memory daemon.
+//
+// Every process owns its local state and publishes it to its neighbors in
+// messages; guard evaluation reads neighbors from a per-process view cache
+// of the last received values (protocol.LocalView), never from shared
+// memory. A composable fault stack over the link model — latency
+// distributions, i.i.d. and Gilbert–Elliott bursty loss, duplication,
+// bounded reorder, crash-recover, transient corruption — produces the
+// "unsupportive environments" of Dolev and Herman at scales the exact
+// checker can never touch (10^6 simulated processes on one box, the event
+// loop sharded by graph partition).
+//
+// Reproducibility contract: every random decision is a counter-based hash
+// of (seed, fault, edge/process, sequence/round, copy) — see Stream — so a
+// run is a pure function of (topology, faults, seed) and bit-identical
+// across worker and shard counts.
+//
+// Under a fault-free network with one-round latency the simulator is
+// step-for-step the synchronous daemon: round r delivers the states
+// published after round r-1, so every guard reads exactly the pre-step
+// configuration. That equivalence is the validation hook back to the exact
+// engine (markov.HittingTimes); see the parity tests and experiment E20.
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"weakstab/internal/protocol"
+)
+
+// Topology is the precomputed directed-edge view of an algorithm's
+// communication graph: the in-edge slots of every process (the view cache
+// layout) and, per directed edge, its sender and receiver. Edge e is the
+// i-th in-edge of receiver p iff e = Off(p)+i, with sender Graph.Neighbor(p, i).
+type Topology struct {
+	n      int
+	off    []int32 // len n+1; in-edge slots of p are off[p]..off[p+1]
+	sender []int32 // sender[e] = global id of the sender on in-edge e
+	recv   []int32 // recv[e] = receiver of in-edge e
+	out    []int32 // out[off[p]+j] = in-edge id at neighbor j for sender p
+	domain []int32 // domain[p] = StateCount(p)
+}
+
+// N returns the number of processes.
+func (t *Topology) N() int { return t.n }
+
+// NumEdges returns the number of directed edges (twice the undirected
+// edge count).
+func (t *Topology) NumEdges() int { return len(t.sender) }
+
+// NewTopology precomputes the directed-edge layout of a's graph.
+func NewTopology(a protocol.Algorithm) (*Topology, error) {
+	g := a.Graph()
+	n := g.N()
+	t := &Topology{n: n, off: make([]int32, n+1), domain: make([]int32, n)}
+	total := 0
+	for p := 0; p < n; p++ {
+		total += g.Degree(p)
+		if total > 1<<31-1 {
+			return nil, fmt.Errorf("netsim: graph too large (%d directed edges)", total)
+		}
+		t.off[p+1] = int32(total)
+		sc := a.StateCount(p)
+		if sc < 1 || sc > 1<<31-1 {
+			return nil, fmt.Errorf("netsim: process %d has state domain %d, need [1, 2^31)", p, sc)
+		}
+		t.domain[p] = int32(sc)
+	}
+	t.sender = make([]int32, total)
+	t.recv = make([]int32, total)
+	t.out = make([]int32, total)
+	for p := 0; p < n; p++ {
+		for i := 0; i < g.Degree(p); i++ {
+			q := g.Neighbor(p, i)
+			e := t.off[p] + int32(i)
+			t.sender[e] = int32(q)
+			t.recv[e] = int32(p)
+			// The same slot, seen from the sender side: p's i-th in-edge
+			// is q's out-edge towards p, at q's local index of p.
+			j, ok := g.LocalIndex(q, p)
+			if !ok {
+				return nil, fmt.Errorf("netsim: asymmetric adjacency at (%d,%d)", p, q)
+			}
+			t.out[t.off[q]+int32(j)] = e
+		}
+	}
+	return t, nil
+}
+
+// Options tunes a simulation run. The zero value is ready to use.
+type Options struct {
+	// MaxRounds bounds the run; 0 means 100_000.
+	MaxRounds int
+	// Seed drives every random decision (faults, probabilistic outcomes,
+	// random initial configurations in Trials). Runs are bit-identical
+	// given equal (topology, faults, seed), regardless of Workers/Shards.
+	Seed int64
+	// Faults is the network fault stack, applied to each publication in
+	// order. An empty stack is the reliable synchronous network
+	// (every message arrives exactly one round after it is sent).
+	Faults []Fault
+	// Workers bounds the goroutines driving the shards (0: NumCPU).
+	Workers int
+	// Shards partitions the processes into contiguous blocks that own
+	// their states, views and calendars (0: auto — 1 for small instances,
+	// up to Workers for large ones). Results never depend on it.
+	Shards int
+	// CheckEvery is the legitimacy-check period in rounds (0: every
+	// round). Larger periods trade detection granularity for speed on
+	// million-process instances.
+	CheckEvery int
+	// Record collects the canonical event trace into Result.Trace.
+	Record bool
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return 100_000
+	}
+	return o.MaxRounds
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (o Options) shards(n int) int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	s := min(o.workers(), n/4096)
+	return max(1, s)
+}
+
+func (o Options) checkEvery() int {
+	if o.CheckEvery <= 0 {
+		return 1
+	}
+	return o.CheckEvery
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	// Converged is true if the true global configuration (the union of
+	// the per-process states, not the possibly-stale views) was legitimate
+	// at some checked round within the budget.
+	Converged bool
+	// Rounds is the number of executed rounds before the successful check
+	// (so 0 when the initial configuration is legitimate), or the full
+	// budget when Converged is false.
+	Rounds int
+	// Sent counts publications (one per process per neighbor per live
+	// round); Delivered counts applied copies; DroppedCrash counts copies
+	// addressed to a crashed process.
+	Sent, Delivered, DroppedCrash int64
+	// Final is the global configuration after the last round.
+	Final protocol.Configuration
+	// Trace is the canonically ordered event trace (Options.Record).
+	Trace []Event
+}
+
+// delivery is one queued arrival: the in-edge slot it lands on, the
+// payload, and the (sequence, copy) pair that decides in-round races.
+type delivery struct {
+	edge int32
+	val  int32
+	seq  uint32
+	cp   uint8
+}
+
+// timed is a delivery with its arrival round, used in the cross-shard
+// outboxes.
+type timed struct {
+	round int32
+	d     delivery
+}
+
+// shard owns a contiguous block of processes: their states, view-cache
+// slots, per-edge publication sequences, and the calendar of pending
+// arrivals addressed to them.
+type shard struct {
+	id     int32
+	lo, hi int32 // process range [lo, hi)
+
+	cal    map[int32][]delivery // arrival round -> deliveries
+	free   [][]delivery         // recycled buckets
+	outbox [][]timed            // per destination shard, filled in phase 1
+
+	lv    *protocol.LocalView
+	dels  []Delivery // fault-stack scratch
+	sent  int64
+	deliv int64
+	drop  int64
+
+	events []Event
+}
+
+type engine struct {
+	a     protocol.Algorithm
+	det   protocol.Deterministic
+	t     *Topology
+	opts  Options
+	state []int    // state[p]: the true local state of p
+	view  []int    // view[e]: receiver's cached value of the sender on in-edge e
+	seq   []uint32 // seq[e]: publications so far on e (written by the sender's shard)
+
+	// In-round race resolution: mark[e] = r+1 when view[e] was written in
+	// round r, key[e] = (seq<<8 | copy) of the write — the winner of a
+	// round is the highest key, independent of application order.
+	mark []int32
+	key  []uint64
+
+	down    []bool
+	link    []LinkFault
+	proc    []ProcessFault
+	exec    Stream // probabilistic-outcome sampling
+	shards  []shard
+	shardOf []int32
+}
+
+// Run executes a from init over the configured network until a legitimacy
+// check succeeds or the round budget is exhausted.
+func Run(a protocol.Algorithm, init protocol.Configuration, opts Options) (Result, error) {
+	t, err := NewTopology(a)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunOn(t, a, init, opts)
+}
+
+// RunOn is Run with a prebuilt Topology (amortizing the precomputation
+// across the runs of a trial batch).
+func RunOn(t *Topology, a protocol.Algorithm, init protocol.Configuration, opts Options) (Result, error) {
+	if len(init) != t.n {
+		return Result{}, fmt.Errorf("netsim: initial configuration has %d states, topology %d", len(init), t.n)
+	}
+	s := &engine{a: a, t: t, opts: opts}
+	s.det, _ = a.(protocol.Deterministic)
+	s.exec = NewStream(opts.Seed, "exec")
+	for i, f := range opts.Faults {
+		f.Reset(t, NewStream(opts.Seed, fmt.Sprintf("fault:%d:%s", i, f.Name())))
+		switch ff := f.(type) {
+		case LinkFault:
+			s.link = append(s.link, ff)
+		case ProcessFault:
+			s.proc = append(s.proc, ff)
+		default:
+			return Result{}, fmt.Errorf("netsim: fault %s is neither a LinkFault nor a ProcessFault", f.Name())
+		}
+	}
+
+	n := t.n
+	s.state = make([]int, n)
+	copy(s.state, init)
+	for p, v := range s.state {
+		if v < 0 || v >= int(t.domain[p]) {
+			return Result{}, fmt.Errorf("netsim: initial state %d of process %d outside domain [0,%d)", v, p, t.domain[p])
+		}
+	}
+	// Initial views are consistent: as if one reliable exchange preceded
+	// round 0, so the first round reads exactly the initial configuration
+	// (the synchronous-parity anchor).
+	s.view = make([]int, t.NumEdges())
+	for e := range s.view {
+		s.view[e] = s.state[t.sender[e]]
+	}
+	s.mark = make([]int32, t.NumEdges())
+	s.key = make([]uint64, t.NumEdges())
+	s.seq = make([]uint32, t.NumEdges())
+	s.down = make([]bool, n)
+
+	ns := opts.shards(n)
+	if ns > n {
+		ns = n
+	}
+	s.shards = make([]shard, ns)
+	s.shardOf = make([]int32, n)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.id = int32(i)
+		sh.lo, sh.hi = int32(i*n/ns), int32((i+1)*n/ns)
+		sh.cal = make(map[int32][]delivery)
+		sh.outbox = make([][]timed, ns)
+		sh.lv = protocol.NewLocalView(a)
+		sh.dels = make([]Delivery, 0, 8)
+		for p := sh.lo; p < sh.hi; p++ {
+			s.shardOf[p] = int32(i)
+		}
+	}
+
+	budget := opts.maxRounds()
+	check := opts.checkEvery()
+	conv := -1
+	for r := 0; r < budget; r++ {
+		if r%check == 0 && s.a.Legitimate(protocol.Configuration(s.state)) {
+			conv = r
+			break
+		}
+		s.parallel(func(sh *shard) { s.phase1(sh, int32(r)) })
+		s.parallel(func(sh *shard) { s.phase2(sh) })
+	}
+	res := Result{Rounds: budget, Final: protocol.Configuration(s.state)}
+	if conv >= 0 {
+		res.Converged, res.Rounds = true, conv
+	} else if s.a.Legitimate(protocol.Configuration(s.state)) {
+		res.Converged = true
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		res.Sent += sh.sent
+		res.Delivered += sh.deliv
+		res.DroppedCrash += sh.drop
+		res.Trace = append(res.Trace, sh.events...)
+	}
+	if opts.Record {
+		sortEvents(res.Trace)
+	}
+	return res, nil
+}
+
+// parallel runs fn over every shard: inline when there is one shard,
+// otherwise on a bounded worker pool pulling shard indexes.
+func (s *engine) parallel(fn func(*shard)) {
+	if len(s.shards) == 1 {
+		fn(&s.shards[0])
+		return
+	}
+	workers := min(s.opts.workers(), len(s.shards))
+	if workers <= 1 {
+		for i := range s.shards {
+			fn(&s.shards[i])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.shards) {
+					return
+				}
+				fn(&s.shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// phase1 advances one shard through round r: crash bookkeeping, applying
+// the arrivals due this round to the view caches, executing every live
+// process against its view, and pushing the round's publications through
+// the fault stack into the per-destination outboxes. It touches only
+// shard-owned state plus the (phase-barriered) outboxes.
+func (s *engine) phase1(sh *shard, r int32) {
+	t := s.t
+	// Process faults first: a process down in round r loses this round's
+	// arrivals too (its mailbox is dead while it is).
+	for _, pf := range s.proc {
+		for p := sh.lo; p < sh.hi; p++ {
+			wasDown := s.down[p]
+			dn, reset, nv := pf.BeginRound(p, r, int32(s.state[p]), t.domain[p])
+			if reset {
+				s.state[p] = int(nv)
+			}
+			s.down[p] = dn
+			if s.opts.Record && dn != wasDown {
+				kind := EvCrash
+				if !dn {
+					kind = EvRecover
+				}
+				sh.events = append(sh.events, Event{Round: r, Kind: kind, Proc: p, Value: int32(s.state[p])})
+			}
+		}
+	}
+
+	// Arrivals due this round. The in-round winner per view slot is the
+	// highest (seq, copy) — application order (hence shard layout) is
+	// irrelevant.
+	if bucket, ok := sh.cal[r]; ok {
+		for _, d := range bucket {
+			p := t.recv[d.edge]
+			if s.down[p] {
+				sh.drop++
+				if s.opts.Record {
+					sh.events = append(sh.events, Event{Round: r, Kind: EvDropCrashed, Proc: p, Edge: d.edge, Seq: d.seq, Copy: d.cp, Value: d.val})
+				}
+				continue
+			}
+			k := uint64(d.seq)<<8 | uint64(d.cp)
+			if s.mark[d.edge] != r+1 || k > s.key[d.edge] {
+				s.mark[d.edge] = r + 1
+				s.key[d.edge] = k
+				s.view[d.edge] = int(d.val)
+			}
+			sh.deliv++
+			if s.opts.Record {
+				sh.events = append(sh.events, Event{Round: r, Kind: EvDeliver, Proc: p, Edge: d.edge, Seq: d.seq, Copy: d.cp, Value: d.val})
+			}
+		}
+		delete(sh.cal, r)
+		sh.free = append(sh.free, bucket[:0])
+	}
+
+	// Execute: every live process evaluates its guard against its view
+	// (own state + cached neighbor values) and moves. Writing state[p]
+	// immediately is safe — no other process ever reads it; neighbors see
+	// it only through messages.
+	for p := sh.lo; p < sh.hi; p++ {
+		if s.down[p] {
+			continue
+		}
+		cfg := sh.lv.Materialize(int(p), s.state[p], s.view[t.off[p]:t.off[p+1]])
+		act := s.a.EnabledAction(cfg, int(p))
+		if act == protocol.Disabled {
+			continue
+		}
+		if s.det != nil {
+			s.state[p] = s.det.DeterministicExecute(cfg, int(p), act)
+		} else {
+			s.state[p] = s.sample(cfg, p, r, act)
+		}
+	}
+
+	// Publish: every live process sends its (new) state to every neighbor;
+	// the fault stack maps each publication to zero or more future
+	// arrivals.
+	for i := range sh.outbox {
+		sh.outbox[i] = sh.outbox[i][:0]
+	}
+	for p := sh.lo; p < sh.hi; p++ {
+		if s.down[p] {
+			continue
+		}
+		v := int32(s.state[p])
+		for j := t.off[p]; j < t.off[p+1]; j++ {
+			e := t.out[j]
+			seq := s.seq[e]
+			s.seq[e] = seq + 1
+			dels := append(sh.dels[:0], Delivery{Delay: 1, Value: v})
+			for _, lf := range s.link {
+				dels = lf.Transform(e, seq, dels)
+			}
+			sh.dels = dels[:0]
+			dst := s.shardOf[t.recv[e]]
+			for _, d := range dels {
+				delay := max(d.Delay, 1)
+				sh.outbox[dst] = append(sh.outbox[dst], timed{round: r + delay, d: delivery{edge: e, val: d.Value, seq: seq, cp: d.Copy}})
+			}
+			sh.sent++
+		}
+	}
+}
+
+// phase2 drains the outboxes addressed to this shard into its calendar.
+// Source order is irrelevant: the in-round winner rule makes bucket
+// content order immaterial, and the canonical trace is sorted at the end.
+func (s *engine) phase2(sh *shard) {
+	for i := range s.shards {
+		src := &s.shards[i]
+		for _, td := range src.outbox[sh.id] {
+			bucket, ok := sh.cal[td.round]
+			if !ok && len(sh.free) > 0 {
+				bucket = sh.free[len(sh.free)-1]
+				sh.free = sh.free[:len(sh.free)-1]
+			}
+			sh.cal[td.round] = append(bucket, td.d)
+		}
+	}
+}
+
+// sample draws a probabilistic outcome with the counter-based execution
+// stream, keyed (process, round) so it is independent of evaluation order.
+func (s *engine) sample(cfg protocol.Configuration, p, r int32, act int) int {
+	outs := s.a.Outcomes(cfg, int(p), act)
+	if len(outs) == 1 {
+		return outs[0].State
+	}
+	x := s.exec.Float(uint64(uint32(p)), uint64(uint32(r)), 0)
+	acc := 0.0
+	for _, o := range outs {
+		acc += o.Prob
+		if x < acc {
+			return o.State
+		}
+	}
+	return outs[len(outs)-1].State
+}

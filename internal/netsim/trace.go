@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind labels one entry of the canonical event trace.
+type EventKind uint8
+
+// Event kinds, in canonical sort order within a round.
+const (
+	// EvCrash: process Proc went down in round Round (Value = its state).
+	EvCrash EventKind = iota
+	// EvRecover: process Proc came back up (Value = its post-recovery
+	// state, after a reset if the fault resets).
+	EvRecover
+	// EvDropCrashed: a copy arrived for the crashed process Proc and was
+	// lost.
+	EvDropCrashed
+	// EvDeliver: a copy was applied to (or lost the in-round race on) the
+	// view slot of edge Edge.
+	EvDeliver
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvDropCrashed:
+		return "drop-crashed"
+	case EvDeliver:
+		return "deliver"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one entry of the canonical trace of a run: what the network did,
+// when, to whom. The trace is sorted by (Round, Kind, Proc, Edge, Seq,
+// Copy) — a total order independent of shard layout and worker scheduling,
+// so two runs are bit-identical iff their traces are.
+type Event struct {
+	Round int32
+	Kind  EventKind
+	Proc  int32 // receiver (deliveries) or the crashed/recovered process
+	Edge  int32 // in-edge slot (deliveries only)
+	Seq   uint32
+	Copy  uint8
+	Value int32
+}
+
+func (ev Event) String() string {
+	switch ev.Kind {
+	case EvCrash, EvRecover:
+		return fmt.Sprintf("r%d %s p%d v%d", ev.Round, ev.Kind, ev.Proc, ev.Value)
+	default:
+		return fmt.Sprintf("r%d %s p%d e%d seq%d.%d v%d", ev.Round, ev.Kind, ev.Proc, ev.Edge, ev.Seq, ev.Copy, ev.Value)
+	}
+}
+
+// sortEvents orders a trace canonically.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Copy < b.Copy
+	})
+}

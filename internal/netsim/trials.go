@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakstab/internal/protocol"
+	"weakstab/internal/sim"
+	"weakstab/internal/stats"
+)
+
+// TrialResult aggregates a batch of simulated executions.
+type TrialResult struct {
+	// Rounds holds the convergence (or re-stabilization) round of every
+	// converged trial, in trial order.
+	Rounds []float64
+	// Summary summarizes Rounds; CDF is its empirical distribution at the
+	// default quantiles.
+	Summary stats.Summary
+	CDF     []stats.CDFPoint
+	// Failures counts trials that exhausted the round budget.
+	Failures int
+	// Sent/Delivered/DroppedCrash accumulate the message counters over
+	// all trials.
+	Sent, Delivered, DroppedCrash int64
+}
+
+func (t *TrialResult) observe(trial int, res Result) {
+	t.Sent += res.Sent
+	t.Delivered += res.Delivered
+	t.DroppedCrash += res.DroppedCrash
+	if !res.Converged {
+		t.Failures++
+		return
+	}
+	t.Rounds = append(t.Rounds, float64(res.Rounds))
+}
+
+func (t *TrialResult) finish() {
+	t.Summary = stats.Summarize(t.Rounds)
+	t.CDF = stats.CDF(t.Rounds, nil)
+}
+
+// Trials runs `trials` executions from uniformly random initial
+// configurations over the configured network. Trial i derives its own
+// seed from (opts.Seed, i) — sim.TrialSeed — so any single trial is
+// replayable in isolation and results never depend on batch order.
+func Trials(a protocol.Algorithm, trials int, opts Options) (TrialResult, error) {
+	t, err := NewTopology(a)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	var out TrialResult
+	for i := 0; i < trials; i++ {
+		topts := opts
+		topts.Seed = sim.TrialSeed(opts.Seed, i)
+		init := protocol.RandomConfiguration(a, rand.New(rand.NewSource(topts.Seed)))
+		res, err := RunOn(t, a, init, topts)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		out.observe(i, res)
+	}
+	out.finish()
+	return out, nil
+}
+
+// Restabilization measures recovery under an unsupportive network: every
+// trial starts from a legitimate configuration with k process states
+// corrupted uniformly at random (the paper's transient-fault model) and
+// runs until the system is legitimate again. The base legitimate
+// configuration is the first one yielded by the algorithm's closed-form
+// LegitEnumerator; algorithms without one must use RestabilizationFrom.
+func Restabilization(a protocol.Algorithm, trials, k int, opts Options) (TrialResult, error) {
+	le, ok := a.(protocol.LegitEnumerator)
+	if !ok {
+		return TrialResult{}, fmt.Errorf("netsim: %s has no LegitEnumerator; use RestabilizationFrom with an explicit legitimate configuration", a.Name())
+	}
+	var legit protocol.Configuration
+	le.EnumerateLegitimate(func(cfg protocol.Configuration) bool {
+		legit = cfg.Clone()
+		return false
+	})
+	if legit == nil {
+		return TrialResult{}, fmt.Errorf("netsim: %s has an empty legitimate set", a.Name())
+	}
+	return RestabilizationFrom(a, legit, trials, k, opts)
+}
+
+// RestabilizationFrom is Restabilization from an explicit legitimate
+// configuration.
+func RestabilizationFrom(a protocol.Algorithm, legit protocol.Configuration, trials, k int, opts Options) (TrialResult, error) {
+	if !a.Legitimate(legit) {
+		return TrialResult{}, fmt.Errorf("netsim: base configuration %v is not legitimate", legit)
+	}
+	t, err := NewTopology(a)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	var out TrialResult
+	for i := 0; i < trials; i++ {
+		topts := opts
+		topts.Seed = sim.TrialSeed(opts.Seed, i)
+		init := sim.InjectFaults(a, legit, k, rand.New(rand.NewSource(topts.Seed)))
+		res, err := RunOn(t, a, init, topts)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		out.observe(i, res)
+	}
+	out.finish()
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package protocol
+
+import "weakstab/internal/graph"
+
+// LocalView adapts shared-memory algorithms to view-based neighbor access:
+// message-passing backends hold, per process, a cache of the last received
+// neighbor states instead of reading shared memory, and Materialize
+// scatters one process's view (its own state plus those cached values)
+// into a reusable scratch Configuration that Algorithm methods accept
+// unchanged.
+//
+// This is sound exactly because of the Algorithm locality contract:
+// EnabledAction and Outcomes may depend only on the states of p and its
+// neighbors, so the scratch entries left over from earlier Materialize
+// calls at other positions are never read. One LocalView must not be
+// shared between goroutines; backends keep one per worker (O(N) memory
+// each, instead of the O(N·Δ) a fully materialized per-process view table
+// would cost).
+type LocalView struct {
+	g       *graph.Graph
+	scratch Configuration
+}
+
+// NewLocalView returns a LocalView over a's communication graph.
+func NewLocalView(a Algorithm) *LocalView {
+	return &LocalView{g: a.Graph(), scratch: make(Configuration, a.Graph().N())}
+}
+
+// Materialize returns a Configuration in which process p reads own at its
+// own position and received[i] — the cached value of its i-th neighbor in
+// local-index order — at that neighbor's position. received must have
+// exactly Degree(p) entries, each inside the neighbor's state domain.
+// Positions outside p's closed neighborhood are unspecified. The returned
+// Configuration aliases the scratch buffer: it is valid until the next
+// Materialize call and must not be retained or mutated.
+func (v *LocalView) Materialize(p int, own int, received []int) Configuration {
+	v.scratch[p] = own
+	for i, val := range received {
+		v.scratch[v.g.Neighbor(p, i)] = val
+	}
+	return v.scratch
+}

@@ -1,0 +1,99 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakstab/internal/graph"
+)
+
+// viewAlg is a minimal Algorithm whose guard genuinely reads the whole
+// closed neighborhood: p is enabled iff its state differs from the max of
+// its neighbors' states, and moves to that max.
+type viewAlg struct{ g *graph.Graph }
+
+func (v viewAlg) Name() string                  { return "viewalg" }
+func (v viewAlg) Graph() *graph.Graph           { return v.g }
+func (v viewAlg) StateCount(int) int            { return 5 }
+func (v viewAlg) ActionName(int) string         { return "up" }
+func (v viewAlg) Legitimate(Configuration) bool { return false }
+
+func (v viewAlg) neighborhoodMax(cfg Configuration, p int) int {
+	m := cfg[p]
+	for i := 0; i < v.g.Degree(p); i++ {
+		if s := cfg[v.g.Neighbor(p, i)]; s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+func (v viewAlg) EnabledAction(cfg Configuration, p int) int {
+	if cfg[p] != v.neighborhoodMax(cfg, p) {
+		return 1
+	}
+	return Disabled
+}
+
+func (v viewAlg) Outcomes(cfg Configuration, p, _ int) []Outcome {
+	return Det(v.neighborhoodMax(cfg, p))
+}
+
+// TestMaterializeMatchesFullConfiguration pins the adapter contract: when
+// the received values equal the neighbors' true states, every Algorithm
+// evaluation through Materialize equals the evaluation on the full
+// configuration — even though the scratch buffer carries stale garbage at
+// every other position from earlier calls.
+func TestMaterializeMatchesFullConfiguration(t *testing.T) {
+	g, err := graph.RandomTree(12, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := viewAlg{g: g}
+	lv := NewLocalView(a)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		cfg := RandomConfiguration(a, rng)
+		// Deliberately walk processes in an order that leaves stale scratch
+		// entries behind.
+		for p := g.N() - 1; p >= 0; p-- {
+			received := make([]int, g.Degree(p))
+			for i := range received {
+				received[i] = cfg[g.Neighbor(p, i)]
+			}
+			view := lv.Materialize(p, cfg[p], received)
+			if got, want := a.EnabledAction(view, p), a.EnabledAction(cfg, p); got != want {
+				t.Fatalf("trial %d p %d: EnabledAction %d through view, %d on full configuration", trial, p, got, want)
+			}
+			if a.EnabledAction(cfg, p) == Disabled {
+				continue
+			}
+			gotOut := a.Outcomes(view, p, 1)
+			wantOut := a.Outcomes(cfg, p, 1)
+			if len(gotOut) != len(wantOut) || gotOut[0] != wantOut[0] {
+				t.Fatalf("trial %d p %d: Outcomes %v through view, %v on full configuration", trial, p, gotOut, wantOut)
+			}
+		}
+	}
+}
+
+// TestMaterializeStaleViews pins what the adapter is FOR: the received
+// values need not match the true neighbor states, and evaluation then
+// reflects the (stale) view, not the truth.
+func TestMaterializeStaleViews(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := viewAlg{g: g}
+	lv := NewLocalView(a)
+	// True configuration: all zero (disabled everywhere). Stale view at p=0
+	// claims a neighbor holds 4 ⇒ enabled through the view.
+	view := lv.Materialize(0, 0, []int{4, 0})
+	if a.EnabledAction(view, 0) == Disabled {
+		t.Fatal("stale view did not enable the process")
+	}
+	if got := a.Outcomes(view, 0, 1)[0].State; got != 4 {
+		t.Fatalf("move target %d, want the stale 4", got)
+	}
+}

@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"fmt"
 	"math/rand"
 
 	"weakstab/internal/protocol"
@@ -121,13 +120,36 @@ func roundCount(t *roundTracker) int {
 	return t.rounds
 }
 
-// Trials summarizes repeated runs from uniformly random initial
+// TrialSeed derives the seed of trial i of a batch seeded with seed: a
+// splitmix64 hash of the pair, so trials are mutually independent and any
+// single trial is replayable in isolation (build TrialRNG(seed, i) and
+// rerun it) without replaying its predecessors. The netsim backend uses
+// the same derivation for its trial batches.
+func TrialSeed(seed int64, trial int) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15*uint64(trial+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x >> 1) // non-negative, keeps rand.NewSource happy everywhere
+}
+
+// TrialRNG returns the private generator of trial i.
+func TrialRNG(seed int64, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(TrialSeed(seed, trial)))
+}
+
+// Trials summarizes `trials` runs from uniformly random initial
 // configurations. It returns the step statistics over converged runs and
-// the number of failures (budget exhaustion).
-func Trials(a protocol.Algorithm, sched scheduler.Scheduler, trials int, rng *rand.Rand, opts Options) (stats.Summary, int) {
+// the number of failures (budget exhaustion). Trial i draws its initial
+// configuration and its execution randomness from TrialRNG(seed, i), so
+// results do not depend on batch order and any trial replays in isolation.
+func Trials(a protocol.Algorithm, sched scheduler.Scheduler, trials int, seed int64, opts Options) (stats.Summary, int) {
 	steps := make([]float64, 0, trials)
 	failures := 0
 	for i := 0; i < trials; i++ {
+		rng := TrialRNG(seed, i)
 		res := Run(a, sched, protocol.RandomConfiguration(a, rng), rng, opts)
 		if !res.Converged {
 			failures++
@@ -139,12 +161,13 @@ func Trials(a protocol.Algorithm, sched scheduler.Scheduler, trials int, rng *ra
 }
 
 // TrialsFrom summarizes repeated runs from a fixed initial configuration
-// (meaningful for probabilistic algorithms and randomized schedulers).
-func TrialsFrom(a protocol.Algorithm, sched scheduler.Scheduler, init protocol.Configuration, trials int, rng *rand.Rand, opts Options) (stats.Summary, int) {
+// (meaningful for probabilistic algorithms and randomized schedulers),
+// with the same per-trial seed derivation as Trials.
+func TrialsFrom(a protocol.Algorithm, sched scheduler.Scheduler, init protocol.Configuration, trials int, seed int64, opts Options) (stats.Summary, int) {
 	steps := make([]float64, 0, trials)
 	failures := 0
 	for i := 0; i < trials; i++ {
-		res := Run(a, sched, init, rng, opts)
+		res := Run(a, sched, init, TrialRNG(seed, i), opts)
 		if !res.Converged {
 			failures++
 			continue
@@ -152,56 +175,4 @@ func TrialsFrom(a protocol.Algorithm, sched scheduler.Scheduler, init protocol.C
 		steps = append(steps, float64(res.Steps))
 	}
 	return stats.Summarize(steps), failures
-}
-
-// InjectFaults returns a copy of cfg with k distinct processes' states
-// replaced by uniformly random values from their domains (the paper's
-// transient-fault model: process memories corrupted arbitrarily). k is
-// clamped to the number of processes.
-func InjectFaults(a protocol.Algorithm, cfg protocol.Configuration, k int, rng *rand.Rand) protocol.Configuration {
-	n := len(cfg)
-	if k > n {
-		k = n
-	}
-	out := cfg.Clone()
-	perm := rng.Perm(n)
-	for _, p := range perm[:k] {
-		out[p] = rng.Intn(a.StateCount(p))
-	}
-	return out
-}
-
-// FaultRecovery runs a long execution that suffers a burst of k corrupted
-// processes every faultPeriod steps and records the re-stabilization time
-// after each burst. It returns the summary of recovery times and an error
-// if some burst never recovered within opts.MaxSteps.
-func FaultRecovery(a protocol.Algorithm, sched scheduler.Scheduler, bursts, k, faultPeriod int, rng *rand.Rand, opts Options) (stats.Summary, error) {
-	if bursts < 1 {
-		return stats.Summary{}, fmt.Errorf("sim: need at least one burst")
-	}
-	// Start from a converged state.
-	warm := Run(a, sched, protocol.RandomConfiguration(a, rng), rng, opts)
-	if !warm.Converged {
-		return stats.Summary{}, fmt.Errorf("sim: initial convergence failed for %s", a.Name())
-	}
-	cfg := warm.Final
-	recoveries := make([]float64, 0, bursts)
-	for b := 0; b < bursts; b++ {
-		// Let the system run legitimately for faultPeriod steps.
-		for step := 0; step < faultPeriod; step++ {
-			enabled := protocol.EnabledProcesses(a, cfg)
-			if len(enabled) == 0 {
-				break
-			}
-			cfg = protocol.Step(a, cfg, sched.Select(step, cfg, enabled, rng), rng)
-		}
-		cfg = InjectFaults(a, cfg, k, rng)
-		res := Run(a, sched, cfg, rng, opts)
-		if !res.Converged {
-			return stats.Summary{}, fmt.Errorf("sim: burst %d did not re-stabilize within %d steps", b, opts.maxSteps())
-		}
-		recoveries = append(recoveries, float64(res.Steps))
-		cfg = res.Final
-	}
-	return stats.Summarize(recoveries), nil
 }

@@ -84,9 +84,8 @@ func TestTrialsMatchExactExpectation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
 	summary, failures := TrialsFrom(a, scheduler.NewDistributedRandomized(),
-		protocol.Configuration{0, 0}, 4000, rng, Options{MaxSteps: 100000})
+		protocol.Configuration{0, 0}, 4000, 5, Options{MaxSteps: 100000})
 	if failures != 0 {
 		t.Fatalf("%d failures", failures)
 	}
@@ -97,8 +96,7 @@ func TestTrialsMatchExactExpectation(t *testing.T) {
 
 func TestTrialsRandomInitial(t *testing.T) {
 	a := mustTokenRing(t, 5)
-	rng := rand.New(rand.NewSource(6))
-	summary, failures := Trials(a, scheduler.NewDistributedRandomized(), 300, rng, Options{MaxSteps: 100000})
+	summary, failures := Trials(a, scheduler.NewDistributedRandomized(), 300, 6, Options{MaxSteps: 100000})
 	if failures != 0 {
 		t.Fatalf("%d failures", failures)
 	}
@@ -154,8 +152,7 @@ func TestInjectFaults(t *testing.T) {
 
 func TestFaultRecovery(t *testing.T) {
 	a := mustTokenRing(t, 6)
-	rng := rand.New(rand.NewSource(8))
-	summary, err := FaultRecovery(a, scheduler.NewDistributedRandomized(), 20, 2, 10, rng, Options{MaxSteps: 100000})
+	summary, err := FaultRecovery(a, scheduler.NewDistributedRandomized(), 20, 2, 10, 8, Options{MaxSteps: 100000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +166,7 @@ func TestFaultRecovery(t *testing.T) {
 
 func TestFaultRecoveryValidation(t *testing.T) {
 	a := mustTokenRing(t, 5)
-	if _, err := FaultRecovery(a, scheduler.NewCentralRandomized(), 0, 1, 5, rand.New(rand.NewSource(9)), Options{}); err == nil {
+	if _, err := FaultRecovery(a, scheduler.NewCentralRandomized(), 0, 1, 5, 9, Options{}); err == nil {
 		t.Fatal("zero bursts accepted")
 	}
 }

@@ -77,6 +77,53 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// CDFPoint is one point of an empirical cumulative distribution: the
+// sample value at (interpolated) quantile P.
+type CDFPoint struct {
+	P     float64
+	Value float64
+}
+
+// DefaultQuantiles are the quantiles CDF evaluates when given none: the
+// distribution shape the convergence/re-stabilization reports print.
+var DefaultQuantiles = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1}
+
+// CDF returns the empirical distribution of the sample evaluated at the
+// given quantiles (DefaultQuantiles when qs is nil), using the same linear
+// interpolation as Quantile. An empty sample yields nil.
+func CDF(sample []float64, qs []float64) []CDFPoint {
+	if len(sample) == 0 {
+		return nil
+	}
+	if qs == nil {
+		qs = DefaultQuantiles
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(qs))
+	for i, q := range qs {
+		out[i] = CDFPoint{P: q, Value: Quantile(sorted, q)}
+	}
+	return out
+}
+
+// FormatCDF renders CDF points as "p10=… p25=… … max=…" (quantile 1 is
+// labeled max).
+func FormatCDF(points []CDFPoint) string {
+	var sb strings.Builder
+	for i, pt := range points {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if pt.P >= 1 {
+			fmt.Fprintf(&sb, "max=%.6g", pt.Value)
+		} else {
+			fmt.Fprintf(&sb, "p%g=%.6g", pt.P*100, pt.Value)
+		}
+	}
+	return sb.String()
+}
+
 // CI95 returns the half-width of the normal-approximation 95% confidence
 // interval of the mean (1.96 * std / sqrt(n)); 0 for samples smaller than 2.
 func (s Summary) CI95() float64 {

@@ -127,3 +127,44 @@ func TestSummaryString(t *testing.T) {
 		t.Fatalf("String = %q", out)
 	}
 }
+
+func TestCDF(t *testing.T) {
+	sample := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	pts := CDF(sample, nil)
+	if len(pts) != len(DefaultQuantiles) {
+		t.Fatalf("%d points, want %d", len(pts), len(DefaultQuantiles))
+	}
+	for i, pt := range pts {
+		if pt.P != DefaultQuantiles[i] {
+			t.Fatalf("point %d has P=%g, want %g", i, pt.P, DefaultQuantiles[i])
+		}
+		if i > 0 && pt.Value < pts[i-1].Value {
+			t.Fatalf("CDF not monotone at %d: %v", i, pts)
+		}
+	}
+	if last := pts[len(pts)-1]; last.P != 1 || last.Value != 5 {
+		t.Fatalf("max point %+v, want P=1 Value=5", last)
+	}
+	// Explicit quantiles use the same interpolation as Quantile.
+	custom := CDF(sample, []float64{0, 0.5, 1})
+	if custom[0].Value != 1 || custom[1].Value != 3 || custom[2].Value != 5 {
+		t.Fatalf("custom quantiles %v", custom)
+	}
+	// The input slice must not be reordered.
+	if sample[0] != 5 || sample[4] != 4 {
+		t.Fatalf("CDF mutated its input: %v", sample)
+	}
+	if CDF(nil, nil) != nil {
+		t.Fatal("CDF of empty sample should be nil")
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	out := FormatCDF(CDF([]float64{1, 2, 3, 4}, []float64{0.5, 0.75, 1}))
+	if out != "p50=2.5 p75=3.25 max=4" {
+		t.Fatalf("FormatCDF = %q", out)
+	}
+	if FormatCDF(nil) != "" {
+		t.Fatal("FormatCDF of no points should be empty")
+	}
+}

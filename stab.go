@@ -189,9 +189,10 @@ func Simulate(a Algorithm, s Scheduler, init Configuration, rng *rand.Rand, maxS
 
 // SimulateTrials summarizes repeated runs from random initial
 // configurations, returning step statistics over converged runs and the
-// number of runs that exhausted the budget.
-func SimulateTrials(a Algorithm, s Scheduler, trials int, rng *rand.Rand, maxSteps int) (Summary, int) {
-	return sim.Trials(a, s, trials, rng, sim.Options{MaxSteps: maxSteps})
+// number of runs that exhausted the budget. Trial i derives its own RNG
+// from (seed, i), so any single trial is replayable in isolation.
+func SimulateTrials(a Algorithm, s Scheduler, trials int, seed int64, maxSteps int) (Summary, int) {
+	return sim.Trials(a, s, trials, seed, sim.Options{MaxSteps: maxSteps})
 }
 
 // InjectFaults corrupts k distinct processes' states uniformly at random —

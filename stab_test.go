@@ -78,7 +78,7 @@ func TestFacadeTransformAndSimulate(t *testing.T) {
 	if _, err := weakstab.TransformBiased(inner, 1.5); err == nil {
 		t.Fatal("invalid bias accepted")
 	}
-	summary, failures := weakstab.SimulateTrials(alg, weakstab.DistributedScheduler(), 50, rng, 0)
+	summary, failures := weakstab.SimulateTrials(alg, weakstab.DistributedScheduler(), 50, 3, 0)
 	if failures != 0 || summary.Count != 50 {
 		t.Fatalf("trials: %d failures, %d converged", failures, summary.Count)
 	}
