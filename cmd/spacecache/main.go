@@ -24,6 +24,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"weakstab/internal/cli"
 	"weakstab/internal/spacecache"
 )
 
@@ -49,6 +50,8 @@ func run(args []string, out io.Writer) error {
 	sub, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("spacecache "+sub, flag.ContinueOnError)
 	dir := fs.String("dir", "", "cache directory (as given to stabcheck/stabbench -cache)")
+	var of cli.ObsFlags
+	of.Register(fs)
 	var maxBytes *int64
 	switch sub {
 	case "stats":
@@ -73,15 +76,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	switch sub {
-	case "stats":
-		return runStats(cache, out)
-	default:
-		if *maxBytes < 0 {
-			return errors.New("gc requires -max-bytes N (0 empties the cache)")
-		}
-		return runGC(cache, out, *maxBytes)
+	// The observability scope makes gc's cache.evict events land in a
+	// trace or manifest like any other cache traffic.
+	orun, err := of.Start("spacecache "+sub, args)
+	if err != nil {
+		return err
 	}
+	var runErr error
+	switch {
+	case sub == "stats":
+		runErr = runStats(cache, out)
+	case *maxBytes < 0:
+		runErr = errors.New("gc requires -max-bytes N (0 empties the cache)")
+	default:
+		runErr = runGC(cache, out, *maxBytes)
+	}
+	if err := orun.Finish(runErr); runErr == nil {
+		runErr = err
+	}
+	return runErr
 }
 
 // runStats prints the cache's entries oldest last-use first — the order gc

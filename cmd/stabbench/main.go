@@ -6,6 +6,7 @@
 //	stabbench -list
 //	stabbench [-run E8] [-quick] [-seed 7] [-trials 500]
 //	stabbench -run E12a -cpuprofile cpu.out -memprofile mem.out
+//	stabbench -run E20 -progress -manifest run.json
 //	stabbench -cache ~/.weakstab-cache   # reruns load explored spaces from disk
 package main
 
@@ -13,9 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
+	"weakstab/internal/cli"
 	"weakstab/internal/experiments"
 )
 
@@ -24,20 +24,22 @@ func main() {
 }
 
 // run executes the command and returns its exit code; keeping it separate
-// from main lets the profile-flushing defers fire before os.Exit.
+// from main lets profile and observability teardown fire before os.Exit.
 func run() int {
 	var (
-		runID      = flag.String("run", "", "experiment id to run (default: all)")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		quick      = flag.Bool("quick", false, "reduced sizes and trial counts")
-		seed       = flag.Int64("seed", 1, "random seed")
-		trials     = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
-		workers    = flag.Int("workers", 0, "state-space exploration workers (0 = all CPUs)")
-		cacheDir   = flag.String("cache", "", "on-disk space cache directory: repeated runs load explored spaces instead of rebuilding them")
-		mmap       = flag.Bool("mmap", true, "zero-copy mmap-backed cache loads (bit-equal to -mmap=false, which stream-decodes)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
-		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
+		runID    = flag.String("run", "", "experiment id to run (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "reduced sizes and trial counts")
+		seed     = flag.Int64("seed", 1, "random seed")
+		trials   = flag.Int("trials", 0, "Monte-Carlo trials override (0 = defaults)")
+		workers  = flag.Int("workers", 0, "state-space exploration workers (0 = all CPUs)")
+		cacheDir = flag.String("cache", "", "on-disk space cache directory: repeated runs load explored spaces instead of rebuilding them")
+		mmap     = flag.Bool("mmap", true, "zero-copy mmap-backed cache loads (bit-equal to -mmap=false, which stream-decodes)")
 	)
+	var of cli.ObsFlags
+	var pf cli.ProfileFlags
+	of.Register(flag.CommandLine)
+	pf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -48,52 +50,52 @@ func run() int {
 		return 0
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			return 1
+	var exp experiments.Experiment
+	if *runID != "" {
+		var ok bool
+		if exp, ok = experiments.ByID(*runID); !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
+			return 2
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // settle allocations so the profile shows live heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
-			}
-		}()
+
+	orun, err := of.Start("stabbench", os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stabbench:", err)
+		return 1
+	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		orun.Finish(err)
+		fmt.Fprintln(os.Stderr, "stabbench:", err)
+		return 1
+	}
+	orun.SetSeed(*seed)
+	if *runID != "" {
+		orun.AddExtra("experiment", *runID)
 	}
 
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials, Workers: *workers, CacheDir: *cacheDir, NoMmap: !*mmap}
-	if *runID == "" {
-		if err := experiments.RunAll(os.Stdout, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "FAIL:", err)
-			return 1
+	runErr := func() error {
+		if *runID == "" {
+			if err := experiments.RunAll(os.Stdout, opt); err != nil {
+				return err
+			}
+			fmt.Println("all experiments verified against the paper's claims")
+			return nil
 		}
-		fmt.Println("all experiments verified against the paper's claims")
-		return 0
+		fmt.Printf("==== %s — %s ====\n", exp.ID, exp.Title)
+		fmt.Printf("paper claim: %s\n\n", exp.PaperClaim)
+		return exp.Run(os.Stdout, opt)
+	}()
+	if err := stopProf(); runErr == nil {
+		runErr = err
 	}
-	e, ok := experiments.ByID(*runID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
-		return 2
+	if err := orun.Finish(runErr); runErr == nil {
+		runErr = err
 	}
-	fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
-	fmt.Printf("paper claim: %s\n\n", e.PaperClaim)
-	if err := e.Run(os.Stdout, opt); err != nil {
-		fmt.Fprintln(os.Stderr, "FAIL:", err)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "FAIL:", runErr)
 		return 1
 	}
 	return 0

@@ -62,6 +62,7 @@ import (
 	"weakstab/internal/checker"
 	"weakstab/internal/cli"
 	"weakstab/internal/core"
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/spacecache"
@@ -105,6 +106,10 @@ func run(args []string, out io.Writer) error {
 		cacheDir  = fs.String("cache", "", "on-disk space cache directory: repeated runs load the explored space instead of rebuilding it")
 		mmap      = fs.Bool("mmap", true, "zero-copy mmap-backed cache loads (bit-equal to -mmap=false, which stream-decodes)")
 	)
+	var of cli.ObsFlags
+	var pf cli.ProfileFlags
+	of.Register(fs)
+	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage printed, exit 0
@@ -112,118 +117,142 @@ func run(args []string, out io.Writer) error {
 		return errParse
 	}
 
-	spec := cli.Spec{Algorithm: *alg, N: *n, Topology: *topology, K: *k,
-		Transform: *transform, Bias: *bias, Seed: *seed}
-	a, err := spec.Build()
+	// The observability scope and profilers bracket the whole analysis;
+	// both write to side channels only (stderr, trace/manifest/profile
+	// files), so the report on out stays byte-identical with them on.
+	orun, err := of.Start("stabcheck", args)
 	if err != nil {
 		return err
 	}
-	pol, err := cli.BuildPolicy(*policy)
+	stopProf, err := pf.Start()
 	if err != nil {
+		orun.Finish(err)
 		return err
 	}
-	cache, err := spacecache.Open(*cacheDir)
-	if err != nil {
-		return err
-	}
-	cache.SetMmap(*mmap)
-	opt := statespace.Options{MaxStates: *maxStates, Workers: *workers}
+	orun.SetSeed(*seed)
+	runErr := func() error {
+		spec := cli.Spec{Algorithm: *alg, N: *n, Topology: *topology, K: *k,
+			Transform: *transform, Bias: *bias, Seed: *seed}
+		a, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		pol, err := cli.BuildPolicy(*policy)
+		if err != nil {
+			return err
+		}
+		cache, err := spacecache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cache.SetMmap(*mmap)
+		opt := statespace.Options{MaxStates: *maxStates, Workers: *workers}
 
-	if *kmax >= 0 {
+		if *kmax >= 0 {
+			switch {
+			case *kfaults >= 0:
+				return fmt.Errorf("use -kfaults K for one radius or -kmax K for the incremental sweep, not both")
+			case *reachable:
+				return fmt.Errorf("-kmax is ball-sized by construction; drop -reachable")
+			case *from != "":
+				return fmt.Errorf("-kmax seeds from the legitimate set; drop -from")
+			case *witness || *lasso:
+				return fmt.Errorf("-kmax prints sweep verdicts only; drop -witness/-lasso or use -kfaults")
+			}
+			return runSweep(out, cache, a, pol, *kmax, opt)
+		}
+
+		// Explore once. With `-reachable -kfaults k` (and no explicit -from)
+		// the one ball closure below is shared end to end: it is the analyzed
+		// subspace of the report AND the subspace the k-fault verdicts scan.
+		var (
+			ts          statespace.TransitionSystem
+			ballSS      *statespace.SubSpace
+			ballGlobals []int64
+			ballDist    []int
+		)
+		exploreDone := obs.Default().Phase("explore")
 		switch {
-		case *kfaults >= 0:
-			return fmt.Errorf("use -kfaults K for one radius or -kmax K for the incremental sweep, not both")
+		case *reachable && *from == "":
+			k := 0
+			if *kfaults > 0 {
+				k = *kfaults
+			}
+			ballSS, ballGlobals, ballDist, err = exploreBall(cache, a, pol, k, opt)
+			if err == nil && ballSS == nil {
+				err = fmt.Errorf("the legitimate set is empty; give explicit seeds with -from")
+			}
+			ts = ballSS
 		case *reachable:
-			return fmt.Errorf("-kmax is ball-sized by construction; drop -reachable")
-		case *from != "":
-			return fmt.Errorf("-kmax seeds from the legitimate set; drop -from")
-		case *witness || *lasso:
-			return fmt.Errorf("-kmax prints sweep verdicts only; drop -witness/-lasso or use -kfaults")
+			var cfgs []protocol.Configuration
+			if cfgs, err = parseSeeds(*from, a.Graph().N()); err == nil {
+				ts, _, err = cache.BuildSubSpaceFromConfigs(a, pol, cfgs, opt)
+			}
+		default:
+			ts, _, err = cache.BuildSpace(a, pol, opt)
 		}
-		return runSweep(out, cache, a, pol, *kmax, opt)
-	}
-
-	// Explore once. With `-reachable -kfaults k` (and no explicit -from)
-	// the one ball closure below is shared end to end: it is the analyzed
-	// subspace of the report AND the subspace the k-fault verdicts scan.
-	var (
-		ts          statespace.TransitionSystem
-		ballSS      *statespace.SubSpace
-		ballGlobals []int64
-		ballDist    []int
-	)
-	switch {
-	case *reachable && *from == "":
-		k := 0
-		if *kfaults > 0 {
-			k = *kfaults
+		exploreDone()
+		if err != nil {
+			return err
 		}
-		ballSS, ballGlobals, ballDist, err = exploreBall(cache, a, pol, k, opt)
-		if err == nil && ballSS == nil {
-			err = fmt.Errorf("the legitimate set is empty; give explicit seeds with -from")
+		defer closeSystem(ts)
+		rep, err := core.AnalyzeSpace(ts)
+		if err != nil {
+			return err
 		}
-		ts = ballSS
-	case *reachable:
-		var cfgs []protocol.Configuration
-		if cfgs, err = parseSeeds(*from, a.Graph().N()); err == nil {
-			ts, _, err = cache.BuildSubSpaceFromConfigs(a, pol, cfgs, opt)
+		fmt.Fprint(out, rep)
+		if err := rep.CheckHierarchy(); err != nil {
+			return err
 		}
-	default:
-		ts, _, err = cache.BuildSpace(a, pol, opt)
-	}
-	if err != nil {
-		return err
-	}
-	defer closeSystem(ts)
-	rep, err := core.AnalyzeSpace(ts)
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(out, rep)
-	if err := rep.CheckHierarchy(); err != nil {
-		return err
-	}
-	if rep.FairLassoFound {
-		fmt.Fprintln(out, "  note: a strongly fair diverging execution exists — not self-stabilizing even under the strongly fair scheduler")
-	}
-	sp := checker.FromSpace(ts)
-	if *witness {
-		printWitness(out, sp)
-	}
-	if *kfaults >= 0 {
-		ss, globals, dist := ballSS, ballGlobals, ballDist
-		if ss == nil {
-			// Full-space or explicit-seed report: the ball pipeline still
-			// runs exactly once, for the verdicts only.
-			ss, globals, dist, err = exploreBall(cache, a, pol, *kfaults, opt)
-			if err != nil {
-				return err
+		if rep.FairLassoFound {
+			fmt.Fprintln(out, "  note: a strongly fair diverging execution exists — not self-stabilizing even under the strongly fair scheduler")
+		}
+		sp := checker.FromSpace(ts)
+		if *witness {
+			printWitness(out, sp)
+		}
+		if *kfaults >= 0 {
+			ss, globals, dist := ballSS, ballGlobals, ballDist
+			if ss == nil {
+				// Full-space or explicit-seed report: the ball pipeline still
+				// runs exactly once, for the verdicts only.
+				ss, globals, dist, err = exploreBall(cache, a, pol, *kfaults, opt)
+				if err != nil {
+					return err
+				}
+				if ss != nil {
+					defer ss.Close()
+				}
+			}
+			// A nil subspace (empty legitimate set) yields vacuous verdicts.
+			verdicts := checker.BallVerdictsOver(ss, checker.BallLocalDistances(ss, globals, dist), *kfaults)
+			for _, v := range verdicts {
+				fmt.Fprintf(out, "  k=%d faults: %d configurations, possible=%v certain=%v\n",
+					v.K, v.Configs, v.Possible, v.Certain)
 			}
 			if ss != nil {
-				defer ss.Close()
+				fmt.Fprintf(out, "  (ball closure: %d of %d configurations explored)\n",
+					ss.NumStates(), ss.TotalConfigs())
 			}
 		}
-		// A nil subspace (empty legitimate set) yields vacuous verdicts.
-		verdicts := checker.BallVerdictsOver(ss, checker.BallLocalDistances(ss, globals, dist), *kfaults)
-		for _, v := range verdicts {
-			fmt.Fprintf(out, "  k=%d faults: %d configurations, possible=%v certain=%v\n",
-				v.K, v.Configs, v.Possible, v.Certain)
+		if *lasso {
+			l := sp.FindStronglyFairLasso()
+			if !l.Found {
+				fmt.Fprintln(out, "  no strongly fair diverging lasso found")
+			} else {
+				fmt.Fprintf(out, "  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
+					len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
+			}
 		}
-		if ss != nil {
-			fmt.Fprintf(out, "  (ball closure: %d of %d configurations explored)\n",
-				ss.NumStates(), ss.TotalConfigs())
-		}
+		return nil
+	}()
+	if err := stopProf(); runErr == nil {
+		runErr = err
 	}
-	if *lasso {
-		l := sp.FindStronglyFairLasso()
-		if !l.Found {
-			fmt.Fprintln(out, "  no strongly fair diverging lasso found")
-		} else {
-			fmt.Fprintf(out, "  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
-				len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
-		}
+	if err := orun.Finish(runErr); runErr == nil {
+		runErr = err
 	}
-	return nil
+	return runErr
 }
 
 // runSweep is the -kmax mode: the incremental k-fault walk, printing one
@@ -231,7 +260,9 @@ func run(args []string, out io.Writer) error {
 // sweep pays for one ball enumeration and one closure exploration in
 // total — and with a warm cache, for neither.
 func runSweep(out io.Writer, cache *spacecache.Cache, a protocol.Algorithm, pol scheduler.Policy, kmax int, opt statespace.Options) error {
+	done := obs.Default().Phase("sweep")
 	res, err := checker.SweepKFaults(checker.CacheSources(cache), a, pol, kmax, opt, true)
+	done()
 	if err != nil {
 		return err
 	}

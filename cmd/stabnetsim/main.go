@@ -59,6 +59,10 @@ func run(args []string, out io.Writer) error {
 		workers     = fs.Int("workers", 0, "worker goroutines (0 = all CPUs; never affects results)")
 		shards      = fs.Int("shards", 0, "graph partitions owning state (0 = auto; never affects results)")
 	)
+	var of cli.ObsFlags
+	var pf cli.ProfileFlags
+	of.Register(fs)
+	pf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -66,59 +70,84 @@ func run(args []string, out io.Writer) error {
 		return errParse
 	}
 
-	spec := cli.Spec{Algorithm: *alg, N: *n, Topology: *topology, K: *k,
-		Transform: *transform, Bias: *bias, Seed: *seed}
-	a, err := spec.Build()
+	// Observability and profilers bracket the whole batch; both write to
+	// side channels only, so the report on out stays byte-identical with
+	// them on, and the manifest records the effective master seed every
+	// trial derives from.
+	orun, err := of.Start("stabnetsim", args)
 	if err != nil {
 		return err
 	}
-	faults, err := cli.ParseFaults(*net)
+	stopProf, err := pf.Start()
 	if err != nil {
+		orun.Finish(err)
 		return err
 	}
-	opts := netsim.Options{
-		MaxRounds: *maxRounds, Seed: *seed, Faults: faults,
-		Workers: *workers, Shards: *shards, CheckEvery: *checkEvery,
-	}
-
-	network := "reliable (synchronous, latency 1)"
-	if len(faults) > 0 {
-		names := make([]string, len(faults))
-		for i, f := range faults {
-			names[i] = f.Name()
+	orun.SetSeed(*seed)
+	runErr := func() error {
+		spec := cli.Spec{Algorithm: *alg, N: *n, Topology: *topology, K: *k,
+			Transform: *transform, Bias: *bias, Seed: *seed}
+		a, err := spec.Build()
+		if err != nil {
+			return err
 		}
-		network = strings.Join(names, " → ")
-	}
-	fmt.Fprintf(out, "%s over message-passing network: %s\n", a.Name(), network)
+		faults, err := cli.ParseFaults(*net)
+		if err != nil {
+			return err
+		}
+		opts := netsim.Options{
+			MaxRounds: *maxRounds, Seed: *seed, Faults: faults,
+			Workers: *workers, Shards: *shards, CheckEvery: *checkEvery,
+		}
 
-	var res netsim.TrialResult
-	var what string
-	if *restabilize >= 0 {
-		what = "re-stabilization rounds"
-		fmt.Fprintf(out, "%d trials from a legitimate configuration with %d corrupted processes (seed %d)\n",
-			*trials, *restabilize, *seed)
-		res, err = netsim.Restabilization(a, *trials, *restabilize, opts)
-	} else {
-		what = "convergence rounds"
-		fmt.Fprintf(out, "%d trials from uniformly random configurations (seed %d)\n", *trials, *seed)
-		res, err = netsim.Trials(a, *trials, opts)
-	}
-	if err != nil {
-		return err
-	}
+		network := "reliable (synchronous, latency 1)"
+		if len(faults) > 0 {
+			names := make([]string, len(faults))
+			for i, f := range faults {
+				names[i] = f.Name()
+			}
+			network = strings.Join(names, " → ")
+		}
+		fmt.Fprintf(out, "%s over message-passing network: %s\n", a.Name(), network)
 
-	fmt.Fprintf(out, "  %s: %s\n", what, res.Summary)
-	if len(res.CDF) > 0 {
-		fmt.Fprintf(out, "  distribution: %s\n", stats.FormatCDF(res.CDF))
+		var res netsim.TrialResult
+		var what string
+		if *restabilize >= 0 {
+			what = "re-stabilization rounds"
+			fmt.Fprintf(out, "%d trials from a legitimate configuration with %d corrupted processes (seed %d)\n",
+				*trials, *restabilize, *seed)
+			res, err = netsim.Restabilization(a, *trials, *restabilize, opts)
+		} else {
+			what = "convergence rounds"
+			fmt.Fprintf(out, "%d trials from uniformly random configurations (seed %d)\n", *trials, *seed)
+			res, err = netsim.Trials(a, *trials, opts)
+		}
+		if err != nil {
+			return err
+		}
+
+		fmt.Fprintf(out, "  %s: %s\n", what, res.Summary)
+		if len(res.CDF) > 0 {
+			fmt.Fprintf(out, "  distribution: %s\n", stats.FormatCDF(res.CDF))
+		}
+		fmt.Fprintf(out, "  messages: sent=%d delivered=%d dropped-at-crashed=%d\n",
+			res.Sent, res.Delivered, res.DroppedCrash)
+		for _, c := range netsim.FaultCounts(faults) {
+			fmt.Fprintf(out, "  fault events: %s=%d\n", c.Name, c.N)
+		}
+		orun.AddExtra("trials", *trials)
+		orun.AddExtra("failures", res.Failures)
+		if res.Failures > 0 {
+			fmt.Fprintf(out, "  FAILURES: %d trials did not converge within the round budget\n", res.Failures)
+			return fmt.Errorf("%d of %d trials failed", res.Failures, *trials)
+		}
+		return nil
+	}()
+	if err := stopProf(); runErr == nil {
+		runErr = err
 	}
-	fmt.Fprintf(out, "  messages: sent=%d delivered=%d dropped-at-crashed=%d\n",
-		res.Sent, res.Delivered, res.DroppedCrash)
-	for _, c := range netsim.FaultCounts(faults) {
-		fmt.Fprintf(out, "  fault events: %s=%d\n", c.Name, c.N)
+	if err := orun.Finish(runErr); runErr == nil {
+		runErr = err
 	}
-	if res.Failures > 0 {
-		fmt.Fprintf(out, "  FAILURES: %d trials did not converge within the round budget\n", res.Failures)
-		return fmt.Errorf("%d of %d trials failed", res.Failures, *trials)
-	}
-	return nil
+	return runErr
 }

@@ -1,0 +1,111 @@
+package main
+
+// Observability integration tests for the netsim CLI: instrumentation
+// must never change the report, and the trial batch's JSONL trace —
+// round samples at power-of-two check rounds plus one netsim.trial per
+// trial, all emitted from the serial trial loop of a bit-deterministic
+// backend — is pinned golden after normalizing timings. Regenerate with
+//
+//	go test ./cmd/stabnetsim -run TestGoldenTrace -update
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var normTimes = regexp.MustCompile(`"(t_ms|wall_ms|cpu_ms)":[0-9eE.+-]+`)
+
+// TestObsByteIdentity: the trial report with tracing, progress and a
+// manifest on is byte-identical to the plain run's.
+func TestObsByteIdentity(t *testing.T) {
+	args := []string{"-alg", "herman", "-n", "9", "-trials", "20"}
+	var plain strings.Builder
+	if err := run(args, &plain); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	dir := t.TempDir()
+	obsArgs := append(append([]string{}, args...),
+		"-progress", "-trace-out", filepath.Join(dir, "trace.jsonl"),
+		"-manifest", filepath.Join(dir, "run.json"))
+	var instrumented strings.Builder
+	if err := run(obsArgs, &instrumented); err != nil {
+		t.Fatalf("run(%v): %v", obsArgs, err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Errorf("report changes under observability:\n--- plain ---\n%s--- instrumented ---\n%s",
+			plain.String(), instrumented.String())
+	}
+}
+
+// TestGoldenTrace pins the JSONL event stream of a small trial batch.
+func TestGoldenTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{"-alg", "herman", "-n", "9", "-trials", "5", "-trace-out", trace}
+	if err := run(args, &strings.Builder{}); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normTimes.ReplaceAllString(string(raw), `"$1":0`)
+	path := filepath.Join("testdata", "trace_herman9_trials5.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("normalized trace differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestManifest checks the netsim manifest: the effective master seed
+// (the replay satellite), trial counts in extra, and the deterministic
+// message totals of the batch.
+func TestManifest(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "run.json")
+	args := []string{"-alg", "herman", "-n", "9", "-trials", "5", "-seed", "7", "-manifest", manifest}
+	if err := run(args, &strings.Builder{}); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Command string           `json:"command"`
+		Seed    int64            `json:"seed"`
+		SeedSet bool             `json:"seed_set"`
+		Metrics map[string]int64 `json:"metrics"`
+		Rates   map[string]float64
+		Extra   map[string]any `json:"extra"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, raw)
+	}
+	if m.Command != "stabnetsim" || !m.SeedSet || m.Seed != 7 {
+		t.Errorf("manifest identity = (%q, seed %d set=%v), want (stabnetsim, 7, true)", m.Command, m.Seed, m.SeedSet)
+	}
+	if got := m.Metrics["netsim.runs"]; got != 5 {
+		t.Errorf("manifest metric netsim.runs = %d, want 5", got)
+	}
+	if m.Metrics["netsim.proc_rounds"] <= 0 || m.Rates["proc_rounds_per_sec"] <= 0 {
+		t.Errorf("manifest proc-round throughput missing: metrics=%v rates=%v", m.Metrics, m.Rates)
+	}
+	if trials, ok := m.Extra["trials"].(float64); !ok || trials != 5 {
+		t.Errorf("manifest extra.trials = %v, want 5", m.Extra["trials"])
+	}
+	if failures, ok := m.Extra["failures"].(float64); !ok || failures != 0 {
+		t.Errorf("manifest extra.failures = %v, want 0", m.Extra["failures"])
+	}
+}

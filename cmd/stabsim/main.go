@@ -36,6 +36,8 @@ func main() {
 		bursts    = flag.Int("bursts", 50, "number of fault bursts (with -faults)")
 		period    = flag.Int("period", 20, "legitimate steps between bursts (with -faults)")
 	)
+	var of cli.ObsFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
 	spec := cli.Spec{Algorithm: *alg, N: *n, Topology: *topology, K: *k,
@@ -50,24 +52,39 @@ func main() {
 	}
 	opts := sim.Options{MaxSteps: *maxSteps}
 
+	// The effective seed is printed on every report line and recorded in
+	// the manifest, so any run is replayable from either.
+	orun, err := of.Start("stabsim", os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	orun.SetSeed(*seed)
+
+	code := 0
 	if *faults > 0 {
 		summary, err := sim.FaultRecovery(a, s, *bursts, *faults, *period, *seed, opts)
 		if err != nil {
+			orun.Finish(err)
 			fatal(err)
 		}
 		fmt.Printf("%s under %s, %d bursts of %d corrupted processes (seed %d):\n",
 			a.Name(), s.Name(), *bursts, *faults, *seed)
 		fmt.Printf("  re-stabilization steps: %s\n", summary)
-		return
+	} else {
+		summary, failures := sim.Trials(a, s, *trials, *seed, opts)
+		fmt.Printf("%s under %s, %d random-start trials (seed %d):\n", a.Name(), s.Name(), *trials, *seed)
+		fmt.Printf("  convergence steps: %s\n", summary)
+		orun.AddExtra("trials", *trials)
+		orun.AddExtra("failures", failures)
+		if failures > 0 {
+			fmt.Printf("  FAILURES: %d runs did not converge within %d steps\n", failures, *maxSteps)
+			code = 1
+		}
 	}
-
-	summary, failures := sim.Trials(a, s, *trials, *seed, opts)
-	fmt.Printf("%s under %s, %d random-start trials (seed %d):\n", a.Name(), s.Name(), *trials, *seed)
-	fmt.Printf("  convergence steps: %s\n", summary)
-	if failures > 0 {
-		fmt.Printf("  FAILURES: %d runs did not converge within %d steps\n", failures, *maxSteps)
-		os.Exit(1)
+	if err := orun.Finish(nil); err != nil {
+		fatal(err)
 	}
+	os.Exit(code)
 }
 
 func fatal(err error) {

@@ -34,8 +34,15 @@ func main() {
 		steps = flag.Int("steps", 10, "steps for custom traces")
 		seed  = flag.Int64("seed", 1, "random seed")
 	)
+	var of cli.ObsFlags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
+	orun, err := of.Start("stabtrace", os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	orun.SetSeed(*seed)
 	switch {
 	case *fig == 1:
 		figure1()
@@ -46,8 +53,12 @@ func main() {
 	case *alg != "":
 		custom(*alg, *n, *sched, *steps, *seed)
 	default:
+		orun.Finish(nil)
 		fmt.Fprintln(os.Stderr, "stabtrace: pass -fig 1|2|3 or -alg <name>")
 		os.Exit(2)
+	}
+	if err := orun.Finish(nil); err != nil {
+		fatal(err)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sort"
 
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/statespace"
@@ -521,6 +522,20 @@ func SweepKFaults(src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax 
 		}
 		res.ClosureStates = append(res.ClosureStates, states)
 		res.CacheHits = append(res.CacheHits, hit)
+		// One sweep.radius event per sealed radius, in ascending-k order
+		// (the walk is sequential, so the stream is deterministic).
+		o := obs.Or(opt.Obs)
+		o.Counter("sweep.radii").Add(1)
+		if o.On() {
+			o.Emit("sweep.radius", obs.SweepRadius{
+				K:        k,
+				Ball:     len(globals),
+				Closure:  states,
+				Possible: v.Possible,
+				Certain:  v.Certain,
+				CacheHit: hit,
+			})
+		}
 		if res.Sub != nil && res.Sub != ss {
 			// A warm-loaded subspace may own a zero-copy mapping; release it
 			// once the walk has extended past its radius (ResumeBallSweep

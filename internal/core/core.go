@@ -21,6 +21,7 @@ import (
 
 	"weakstab/internal/checker"
 	"weakstab/internal/markov"
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/spacecache"
@@ -107,6 +108,10 @@ type Options struct {
 	// the default zero-copy mmap path. The two are bit-equal; decoding
 	// trades load time for freedom from mapping lifetimes.
 	NoMmap bool
+	// Obs receives analysis metrics and progress events (nil falls back to
+	// obs.Default(); both nil disables instrumentation). Reports are
+	// bit-identical with observability on or off.
+	Obs *obs.Observer
 }
 
 // openCache opens the options' cache with the options' load mode applied.
@@ -130,7 +135,7 @@ func closeSystem(ts statespace.TransitionSystem) {
 
 // spaceOptions lowers the analysis options to exploration options.
 func (o Options) spaceOptions() statespace.Options {
-	return statespace.Options{MaxStates: o.MaxStates, Workers: o.Workers}
+	return statespace.Options{MaxStates: o.MaxStates, Workers: o.Workers, Obs: o.Obs}
 }
 
 // Analyze classifies the algorithm under the policy. maxStates caps the
@@ -150,7 +155,9 @@ func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Repo
 	if err != nil {
 		return nil, err
 	}
+	done := obs.Or(opt.Obs).Phase("explore")
 	ts, _, err := cache.BuildSpace(a, pol, opt.spaceOptions())
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s: %w", a.Name(), err)
 	}
@@ -170,7 +177,9 @@ func AnalyzeFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Co
 	if err != nil {
 		return nil, err
 	}
+	done := obs.Or(opt.Obs).Phase("explore")
 	ss, _, err := cache.BuildSubSpaceFromConfigs(a, pol, seeds, opt.spaceOptions())
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s from %d seeds: %w", a.Name(), len(seeds), err)
 	}
@@ -193,7 +202,9 @@ func SweepKFaults(a protocol.Algorithm, pol scheduler.Policy, kmax int, opt Opti
 	if err != nil {
 		return nil, err
 	}
+	done := obs.Or(opt.Obs).Phase("sweep")
 	res, err := checker.SweepKFaults(checker.CacheSources(cache), a, pol, kmax, opt.spaceOptions(), stopAtBreak)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: sweeping %s: %w", a.Name(), err)
 	}
@@ -219,13 +230,20 @@ func AnalyzeSpace(ts statespace.TransitionSystem) (*Report, error) {
 		}
 		defer p.Release()
 	}
+	// Phase timings go to the process observer — AnalyzeSpace takes no
+	// options, and the phases matter per run, not per call site.
+	o := obs.Default()
 	a := ts.Algorithm()
+	checkDone := o.Phase("checker")
 	sp := checker.FromSpace(ts)
 	closure := sp.CheckClosure()
 	possible := sp.CheckPossibleConvergence()
 	certain := sp.CheckCertainConvergence()
 	lasso := sp.FindStronglyFairLasso()
+	checkDone()
 
+	markovDone := o.Phase("markov")
+	defer markovDone()
 	chain, err := markov.FromSpace(ts)
 	if err != nil {
 		return nil, fmt.Errorf("core: building chain for %s: %w", a.Name(), err)

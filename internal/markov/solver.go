@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"weakstab/internal/obs"
 	"weakstab/internal/statespace"
 )
 
@@ -263,7 +264,15 @@ func (c *Chain) solveSCC(transient []bool, h []float64) error {
 // solveBlock solves one strongly connected block, reading final h values
 // for every out-of-block edge target and writing h for its members.
 func (c *Chain) solveBlock(b int32, states []int32, local, comp []int32, h []float64, workers int) error {
+	// Block counts and the size histogram go to the process observer.
+	// Singleton and dense blocks can number in the hundreds of thousands,
+	// so they are counted, not evented; the iterative blocks below emit
+	// one solver.block event each at convergence. Blocks solve
+	// concurrently, so event arrival order is scheduling-dependent.
+	o := obs.Default()
+	o.Histogram("solver.block_states").Observe(int64(len(states)))
 	if len(states) == 1 {
+		o.Counter("solver.blocks.singleton").Add(1)
 		// Singleton: h(s) = (1 + Σ_{t≠s} P(s,t) h(t)) / (1 - P(s,s)) — a
 		// trivial forward substitution on the condensation DAG.
 		s := int(states[0])
@@ -284,9 +293,20 @@ func (c *Chain) solveBlock(b int32, states []int32, local, comp []int32, h []flo
 		return nil
 	}
 	if len(states) <= denseBlockLimit {
+		o.Counter("solver.blocks.dense").Add(1)
 		return c.solveBlockDense(b, states, local, comp, h)
 	}
+	o.Counter("solver.blocks.gs").Add(1)
 	return c.solveBlockGS(b, states, local, comp, h, workers)
+}
+
+// observeGS records one converged iterative block: the cumulative sweep
+// counter always, the structured solver.block event only when enabled.
+func observeGS(o *obs.Observer, size int, kind string, iters int, residual float64) {
+	o.Counter("solver.gs_sweeps").Add(int64(iters))
+	if o.On() {
+		o.Emit("solver.block", obs.SolverBlock{Size: size, Kind: kind, Iters: iters, Residual: residual})
+	}
 }
 
 // solveBlockDense eliminates one block directly: rows are (I-Q) restricted
@@ -446,6 +466,7 @@ func (c *Chain) solveBlockGS(b int32, states []int32, local, comp []int32, h []f
 					for i, sv := range states {
 						h[sv] = x[i]
 					}
+					observeGS(obs.Default(), m, "gs", iter+gsCheckEvery, r)
 					return nil
 				}
 			}
@@ -546,11 +567,14 @@ func (c *Chain) solveBlockGS(b int32, states []int32, local, comp []int32, h []f
 		d1, a1 := phase(0, half)
 		d2, a2 := phase(half, m)
 		delta, scale := math.Max(d1, d2), math.Max(1, math.Max(a1, a2))
-		if delta <= gsDeltaTol*scale && parResidual() <= gsResidTol*scale {
-			for i, sv := range states {
-				h[sv] = x[i]
+		if delta <= gsDeltaTol*scale {
+			if r := parResidual(); r <= gsResidTol*scale {
+				for i, sv := range states {
+					h[sv] = x[i]
+				}
+				observeGS(obs.Default(), m, "gs-rb", iter+1, r)
+				return nil
 			}
-			return nil
 		}
 	}
 	return fmt.Errorf("markov: Gauss–Seidel block of %d states did not converge within %d sweeps", m, gsMaxIter)

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 )
 
@@ -116,6 +117,13 @@ type Options struct {
 	CheckEvery int
 	// Record collects the canonical event trace into Result.Trace.
 	Record bool
+	// Obs receives simulation metrics and progress events (nil falls back
+	// to obs.Default(); both nil disables instrumentation). Observability
+	// is a side channel only: results are bit-identical with it on or off.
+	Obs *obs.Observer
+	// Trial labels this run's progress events within a batch (Trials /
+	// Restabilization set it); it does not affect the simulation.
+	Trial int
 }
 
 func (o Options) maxRounds() int {
@@ -299,10 +307,23 @@ func RunOn(t *Topology, a protocol.Algorithm, init protocol.Configuration, opts 
 	budget := opts.maxRounds()
 	check := opts.checkEvery()
 	conv := -1
+	o := obs.Or(opts.Obs)
 	for r := 0; r < budget; r++ {
-		if r%check == 0 && s.a.Legitimate(protocol.Configuration(s.state)) {
-			conv = r
-			break
+		if r%check == 0 {
+			if s.a.Legitimate(protocol.Configuration(s.state)) {
+				conv = r
+				break
+			}
+			// Progress is sampled at power-of-two check rounds, so a long
+			// diverging run logs O(log rounds) events, not O(rounds).
+			if o.On() && r > 0 && r&(r-1) == 0 {
+				var sent, deliv int64
+				for i := range s.shards {
+					sent += s.shards[i].sent
+					deliv += s.shards[i].deliv
+				}
+				o.Emit("netsim.round", obs.NetsimRound{Trial: opts.Trial, Round: r, Sent: sent, Delivered: deliv})
+			}
 		}
 		s.parallel(func(sh *shard) { s.phase1(sh, int32(r)) })
 		s.parallel(func(sh *shard) { s.phase2(sh) })
@@ -323,6 +344,12 @@ func RunOn(t *Topology, a protocol.Algorithm, init protocol.Configuration, opts 
 	if opts.Record {
 		sortEvents(res.Trace)
 	}
+	o.Counter("netsim.runs").Add(1)
+	o.Counter("netsim.rounds").Add(int64(res.Rounds))
+	o.Counter("netsim.proc_rounds").Add(int64(res.Rounds) * int64(t.n))
+	o.Counter("netsim.sent").Add(res.Sent)
+	o.Counter("netsim.delivered").Add(res.Delivered)
+	o.Counter("netsim.dropped_crash").Add(res.DroppedCrash)
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 	"weakstab/internal/sim"
 	"weakstab/internal/stats"
@@ -41,6 +42,21 @@ func (t *TrialResult) finish() {
 	t.CDF = stats.CDF(t.Rounds, nil)
 }
 
+// observeTrial emits one netsim.trial progress event (batch position, the
+// trial's own derived seed for standalone replay) and re-homes the fault
+// stack's private event counters onto the registry as netsim.fault.*
+// gauges. Fault counters accumulate across the batch's runs, so gauges —
+// set to the latest cumulative value — mirror them exactly.
+func observeTrial(o *obs.Observer, trial, of int, seed int64, res Result, faults []Fault) {
+	if !o.On() {
+		return
+	}
+	o.Emit("netsim.trial", obs.NetsimTrial{Trial: trial, Of: of, Rounds: res.Rounds, Converged: res.Converged, Seed: seed})
+	for _, c := range FaultCounts(faults) {
+		o.Gauge("netsim.fault." + c.Name).Set(c.N)
+	}
+}
+
 // Trials runs `trials` executions from uniformly random initial
 // configurations over the configured network. Trial i derives its own
 // seed from (opts.Seed, i) — sim.TrialSeed — so any single trial is
@@ -50,16 +66,19 @@ func Trials(a protocol.Algorithm, trials int, opts Options) (TrialResult, error)
 	if err != nil {
 		return TrialResult{}, err
 	}
+	o := obs.Or(opts.Obs)
 	var out TrialResult
 	for i := 0; i < trials; i++ {
 		topts := opts
 		topts.Seed = sim.TrialSeed(opts.Seed, i)
+		topts.Trial = i
 		init := protocol.RandomConfiguration(a, rand.New(rand.NewSource(topts.Seed)))
 		res, err := RunOn(t, a, init, topts)
 		if err != nil {
 			return TrialResult{}, err
 		}
 		out.observe(i, res)
+		observeTrial(o, i, trials, topts.Seed, res, opts.Faults)
 	}
 	out.finish()
 	return out, nil
@@ -97,16 +116,19 @@ func RestabilizationFrom(a protocol.Algorithm, legit protocol.Configuration, tri
 	if err != nil {
 		return TrialResult{}, err
 	}
+	o := obs.Or(opts.Obs)
 	var out TrialResult
 	for i := 0; i < trials; i++ {
 		topts := opts
 		topts.Seed = sim.TrialSeed(opts.Seed, i)
+		topts.Trial = i
 		init := sim.InjectFaults(a, legit, k, rand.New(rand.NewSource(topts.Seed)))
 		res, err := RunOn(t, a, init, topts)
 		if err != nil {
 			return TrialResult{}, err
 		}
 		out.observe(i, res)
+		observeTrial(o, i, trials, topts.Seed, res, opts.Faults)
 	}
 	out.finish()
 	return out, nil

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable off unix; CPU fields stay zero.
+func processCPUTime() time.Duration { return 0 }

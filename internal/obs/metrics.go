@@ -1,0 +1,245 @@
+// The metrics registry: named atomic counters, gauges and log₂
+// histograms. Handles are pointers handed out once at operation start;
+// the per-event cost on an enabled observer is one atomic RMW, and on a
+// disabled one (nil handle) a single pointer check — the property the
+// zero-allocation test pins.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil handle
+// is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The nil handle is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil handle.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger — the high-water-mark
+// write (peak heap, largest block). No-op on a nil handle.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations in power-of-two buckets: bucket i holds
+// values v with bits.Len64(v) == i, i.e. bucket 0 is {0}, bucket i≥1 is
+// [2^(i-1), 2^i). Negative observations clamp to 0. The nil handle is a
+// no-op. All fields are atomic, so concurrent observers never lock.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     Gauge
+	buckets [65]atomic.Int64
+}
+
+// Observe records one value. No-op on a nil handle.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.SetMax(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// reporting (individual fields are read atomically, not as one cut).
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets maps bucket upper bounds (2^i - 1 style rendered as the
+	// bucket's inclusive power-of-two ceiling) to counts; zero buckets
+	// are omitted.
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram for reporting (zero value on nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Value()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]int64)
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// Registry is a name-indexed collection of metrics. Handles are created
+// on first request and shared thereafter; lookups lock, metric writes do
+// not. A nil Registry hands out nil (no-op) handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every scalar metric as a flat name→value map:
+// counters and gauges under their own names, histograms expanded to
+// .count/.sum/.max/.mean suffixes. JSON-marshalling the map renders keys
+// sorted, so snapshots diff cleanly.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		out[name+".count"] = s.Count
+		out[name+".sum"] = s.Sum
+		out[name+".max"] = s.Max
+	}
+	return out
+}
+
+// Names returns the sorted metric names of each kind — the deterministic
+// iteration order reports use.
+func (r *Registry) Names() (counters, gauges, hists []string) {
+	if r == nil {
+		return nil, nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	for name := range r.hists {
+		hists = append(hists, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return counters, gauges, hists
+}

@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 )
 
@@ -62,17 +63,22 @@ func (c *Cache) LoadBall(a protocol.Algorithm, k int, maxStates int64) ([]int64,
 	if c == nil {
 		return nil, nil, false
 	}
-	path := c.ballPath(BallKey(a, k))
+	o := obs.Default()
+	key := BallKey(a, k)
+	path := c.ballPath(key)
 	f, err := os.Open(path)
 	if err != nil {
+		observeLoad(o, "ball", key, "", false, 0)
 		return nil, nil, false
 	}
 	defer f.Close()
 	globals, dist, err := readBall(f, a, k, maxStates)
 	if err != nil {
+		observeLoad(o, "ball", key, "", false, 0)
 		return nil, nil, false
 	}
 	touch(path)
+	observeLoad(o, "ball", key, "decode", true, sizeOf(f))
 	return globals, dist, true
 }
 
@@ -89,7 +95,12 @@ func (c *Cache) StoreBall(a protocol.Algorithm, k int, globals []int64, dist []i
 	if err := writeBall(&buf, k, globals, dist); err != nil {
 		return fmt.Errorf("spacecache: %w", err)
 	}
-	return c.atomicWrite(c.ballPath(BallKey(a, k)), bytesWriterTo{&buf})
+	key := BallKey(a, k)
+	err := c.atomicWrite(c.ballPath(key), bytesWriterTo{&buf})
+	if err == nil {
+		observeStore(obs.Default(), "ball", key)
+	}
+	return err
 }
 
 // bytesWriterTo adapts an assembled buffer to the io.WriterTo that

@@ -21,6 +21,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"weakstab/internal/obs"
 )
 
 // cacheExts are the filename extensions the cache owns, the only files
@@ -105,6 +107,7 @@ func (c *Cache) GC(maxBytes int64) (deleted []Entry, remaining int64, err error)
 		}
 		total -= e.Bytes
 		deleted = append(deleted, e)
+		observeEvict(obs.Default(), e)
 	}
 	return deleted, total, errors.Join(errs...)
 }

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/statespace"
@@ -225,7 +226,9 @@ func (c *Cache) LoadSpace(a protocol.Algorithm, pol scheduler.Policy, opt states
 	if c == nil {
 		return nil, false
 	}
-	path := c.spacePath(Key(a, pol))
+	o := obs.Or(opt.Obs)
+	key := Key(a, pol)
+	path := c.spacePath(key)
 	if c.MmapEnabled() {
 		if data, unmap, fi, err := mmapOpen(path); err == nil {
 			var sp *statespace.Space
@@ -237,6 +240,7 @@ func (c *Cache) LoadSpace(a protocol.Algorithm, pol scheduler.Policy, opt states
 			if err == nil {
 				touch(path)
 				c.memoize(path)
+				observeLoad(o, "space", key, "mmap", true, fi.Size())
 				return sp, true
 			}
 			unmap()
@@ -247,6 +251,7 @@ func (c *Cache) LoadSpace(a protocol.Algorithm, pol scheduler.Policy, opt states
 	}
 	f, err := os.Open(path)
 	if err != nil {
+		observeLoad(o, "space", key, "", false, 0)
 		return nil, false
 	}
 	defer f.Close()
@@ -254,9 +259,11 @@ func (c *Cache) LoadSpace(a protocol.Algorithm, pol scheduler.Policy, opt states
 	// whole index range, so the cap rejects before any byte is decoded).
 	sp, err := statespace.ReadSpace(f, a, pol, opt.Workers, opt.MaxStates)
 	if err != nil {
+		observeLoad(o, "space", key, "", false, 0)
 		return nil, false
 	}
 	touch(path)
+	observeLoad(o, "space", key, "decode", true, sizeOf(f))
 	return sp, true
 }
 
@@ -266,7 +273,12 @@ func (c *Cache) StoreSpace(sp *statespace.Space) error {
 	if c == nil {
 		return nil
 	}
-	return c.atomicWrite(c.spacePath(Key(sp.Alg, sp.Pol)), sp)
+	key := Key(sp.Alg, sp.Pol)
+	err := c.atomicWrite(c.spacePath(key), sp)
+	if err == nil {
+		observeStore(obs.Default(), "space", key)
+	}
+	return err
 }
 
 // LoadSubSpace returns the cached subspace of (a, pol, seed set), or
@@ -276,7 +288,9 @@ func (c *Cache) LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds [
 	if c == nil {
 		return nil, false
 	}
-	path := c.subPath(SubKey(a, pol, seeds))
+	o := obs.Or(opt.Obs)
+	key := SubKey(a, pol, seeds)
+	path := c.subPath(key)
 	if c.MmapEnabled() {
 		if data, unmap, fi, err := mmapOpen(path); err == nil {
 			var ss *statespace.SubSpace
@@ -288,6 +302,7 @@ func (c *Cache) LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds [
 			if err == nil {
 				touch(path)
 				c.memoize(path)
+				observeLoad(o, "subspace", key, "mmap", true, fi.Size())
 				return ss, true
 			}
 			unmap()
@@ -295,6 +310,7 @@ func (c *Cache) LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds [
 	}
 	f, err := os.Open(path)
 	if err != nil {
+		observeLoad(o, "subspace", key, "", false, 0)
 		return nil, false
 	}
 	defer f.Close()
@@ -303,9 +319,11 @@ func (c *Cache) LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds [
 	// materialization.
 	ss, err := statespace.ReadSubSpace(f, a, pol, opt.Workers, opt.MaxStates)
 	if err != nil {
+		observeLoad(o, "subspace", key, "", false, 0)
 		return nil, false
 	}
 	touch(path)
+	observeLoad(o, "subspace", key, "decode", true, sizeOf(f))
 	return ss, true
 }
 
@@ -315,7 +333,12 @@ func (c *Cache) StoreSubSpace(ss *statespace.SubSpace, seeds []int64) error {
 	if c == nil {
 		return nil
 	}
-	return c.atomicWrite(c.subPath(SubKey(ss.Alg, ss.Pol, seeds)), ss)
+	key := SubKey(ss.Alg, ss.Pol, seeds)
+	err := c.atomicWrite(c.subPath(key), ss)
+	if err == nil {
+		observeStore(obs.Default(), "subspace", key)
+	}
+	return err
 }
 
 // BuildSpace is statespace.Build behind the cache: a hit loads the space

@@ -23,6 +23,7 @@ import (
 	"slices"
 	"sync"
 
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 )
@@ -47,6 +48,12 @@ type Builder struct {
 	// Extend restores the invariant explored == table.Len() (closure).
 	explored int
 
+	// o and shell instrument the exploration: one frontier.shell event
+	// per BFS level (emitted from the serial stitch, so the stream is
+	// deterministic), numbered across the builder's whole lifetime.
+	o     *obs.Observer
+	shell int
+
 	pool   sync.Pool
 	chunks []frontierChunk
 }
@@ -69,6 +76,7 @@ func NewBuilder(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Build
 		maxStates: StateCap(opt.MaxStates),
 		table:     NewDedup(enc.Total()),
 		off:       []int64{0},
+		o:         obs.Or(opt.Obs),
 	}
 	b.pool.New = func() any { return newExplorer(a, pol, enc) }
 	return b, nil
@@ -133,6 +141,7 @@ func (b *Builder) explore() error {
 	)
 	for lo := b.explored; lo < b.table.Len(); {
 		hi := b.table.Len()
+		edgesBefore := int64(len(b.succ))
 		level := b.table.Globals()[lo:hi] // expansion only reads, so no insert moves it
 		numChunks := (len(level) + frontierGrain - 1) / frontierGrain
 		if cap(b.chunks) < numChunks {
@@ -204,6 +213,29 @@ func (b *Builder) explore() error {
 				b.off = append(b.off, int64(len(b.succ)))
 			}
 		}
+		// Observe the completed shell from the serial stitch: counters
+		// always (nil-safe no-ops when off), the structured event only
+		// when enabled so no payload is built on the disabled path.
+		refs := int64(len(b.succ)) - edgesBefore
+		newStates := b.table.Len() - hi
+		b.o.Counter("frontier.shells").Add(1)
+		b.o.Counter("frontier.states").Add(int64(newStates))
+		b.o.Counter("frontier.edges").Add(refs)
+		if b.o.On() {
+			var dedup float64
+			if refs > 0 {
+				dedup = 1 - float64(newStates)/float64(refs)
+			}
+			b.o.Emit("frontier.shell", obs.FrontierShell{
+				Shell:     b.shell,
+				Expanded:  hi - lo,
+				New:       newStates,
+				States:    b.table.Len(),
+				Edges:     int64(len(b.succ)),
+				DedupRate: dedup,
+			})
+		}
+		b.shell++
 		lo = hi
 	}
 	b.explored = b.table.Len()
@@ -215,9 +247,13 @@ func (b *Builder) explore() error {
 // seed that was already discovered costs nothing. On error the builder is
 // no longer usable.
 func (b *Builder) Extend(seeds []int64) error {
+	before := b.table.Len()
 	if err := b.addSeeds(seeds); err != nil {
 		return err
 	}
+	// Seed admissions count toward the discovered-state total the same
+	// way explored shells do.
+	b.o.Counter("frontier.states").Add(int64(b.table.Len() - before))
 	return b.explore()
 }
 

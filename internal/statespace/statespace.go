@@ -24,7 +24,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 )
@@ -48,6 +50,11 @@ type Options struct {
 	// Workers sets the exploration worker-pool size (0 means
 	// runtime.NumCPU()). The result is identical for every worker count.
 	Workers int
+	// Obs receives exploration metrics and progress events (nil falls back
+	// to obs.Default(); both nil disables instrumentation). Observability
+	// never changes the built space: events and counters are side channels
+	// only.
+	Obs *obs.Observer
 }
 
 // StateCap resolves the MaxStates option to its effective value, shared by
@@ -210,6 +217,14 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 		failMu  sync.Mutex
 		failErr error
 	)
+	// Instrumentation side channel: cumulative done/edge counts feed the
+	// registry and a coarse build.progress event at milestone crossings
+	// (chunk arrival order is scheduling-dependent, so the milestone —
+	// not the event order — is the contract). The built space is
+	// untouched.
+	o := obs.Or(opt.Obs)
+	var doneStates, doneEdges atomic.Int64
+	const progressEvery = 1 << 20
 	ForRanges(total, workers, chunkSize, func(lo, hi int) bool {
 		ex := pool.Get().(*explorer)
 		ck, err := ex.exploreRange(lo, hi, sp.Legit)
@@ -223,6 +238,13 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 			return false
 		}
 		chunks[lo/chunkSize] = ck
+		if o.On() {
+			e := doneEdges.Add(int64(len(ck.succ)))
+			d := doneStates.Add(int64(hi - lo))
+			if d/progressEvery != (d-int64(hi-lo))/progressEvery || d == int64(total) {
+				o.Emit("build.progress", obs.BuildProgress{Done: d, Total: int64(total), Edges: e})
+			}
+		}
 		return true
 	})
 	if failErr != nil {
@@ -248,6 +270,8 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 		copy(sp.prob[at-int64(len(c.prob)):], c.prob)
 	}
 	sp.off[total] = at
+	o.Counter("build.states").Add(int64(total))
+	o.Counter("build.edges").Add(edges)
 	return sp, nil
 }
 
