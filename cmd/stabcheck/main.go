@@ -48,23 +48,29 @@
 //	stabcheck -alg tokenring -n 10 -reachable              # closure of L
 //	stabcheck -alg tokenring -n 6 -reachable -from 1,0,2,1,0,3
 //	stabcheck -alg tokenring -n 11 -cache ~/.weakstab-cache  # warm runs skip exploration
+//	stabcheck -alg tokenring -n 6 -json                    # the stabserve result document
+//
+// Every analysis runs through the same job-execution path the stabserve
+// daemon uses (internal/service): the command assembles a service.Request
+// from its flags, drives it through a single-worker service.Manager, and
+// renders the result — as the classic text report, or with -json as the
+// exact result document stabserve's GET /jobs/{id}/result returns
+// (byte-identical, so the two surfaces diff clean).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"weakstab/internal/checker"
 	"weakstab/internal/cli"
-	"weakstab/internal/core"
-	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
-	"weakstab/internal/scheduler"
+	"weakstab/internal/service"
 	"weakstab/internal/spacecache"
 	"weakstab/internal/statespace"
 )
@@ -105,6 +111,7 @@ func run(args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 0, "exploration worker-pool size (0 = all CPUs)")
 		cacheDir  = fs.String("cache", "", "on-disk space cache directory: repeated runs load the explored space instead of rebuilding it")
 		mmap      = fs.Bool("mmap", true, "zero-copy mmap-backed cache loads (bit-equal to -mmap=false, which stream-decodes)")
+		jsonOut   = fs.Bool("json", false, "emit the result as JSON — the exact document stabserve's result endpoint returns")
 	)
 	var of cli.ObsFlags
 	var pf cli.ProfileFlags
@@ -131,23 +138,22 @@ func run(args []string, out io.Writer) error {
 	}
 	orun.SetSeed(*seed)
 	runErr := func() error {
-		spec := cli.Spec{Algorithm: *alg, N: *n, Topology: *topology, K: *k,
-			Transform: *transform, Bias: *bias, Seed: *seed}
-		a, err := spec.Build()
-		if err != nil {
-			return err
-		}
-		pol, err := cli.BuildPolicy(*policy)
-		if err != nil {
-			return err
-		}
 		cache, err := spacecache.Open(*cacheDir)
 		if err != nil {
 			return err
 		}
 		cache.SetMmap(*mmap)
-		opt := statespace.Options{MaxStates: *maxStates, Workers: *workers}
 
+		// The flags become a service.Request and run through a
+		// single-worker Manager — the same job-execution path stabserve
+		// drives, so CLI and daemon cannot drift apart.
+		req := service.Request{Alg: *alg, N: *n, Topology: *topology, K: *k,
+			Transform: *transform, Bias: *bias, Seed: *seed, Policy: *policy,
+			Reachable: *reachable, From: *from, MaxStates: *maxStates, Workers: *workers}
+		if *kfaults >= 0 {
+			v := *kfaults
+			req.KFaults = &v
+		}
 		if *kmax >= 0 {
 			switch {
 			case *kfaults >= 0:
@@ -159,90 +165,36 @@ func run(args []string, out io.Writer) error {
 			case *witness || *lasso:
 				return fmt.Errorf("-kmax prints sweep verdicts only; drop -witness/-lasso or use -kfaults")
 			}
-			return runSweep(out, cache, a, pol, *kmax, opt)
+			v := *kmax
+			req.KMax = &v
+			req.Mode = service.ModeSweep
 		}
 
-		// Explore once. With `-reachable -kfaults k` (and no explicit -from)
-		// the one ball closure below is shared end to end: it is the analyzed
-		// subspace of the report AND the subspace the k-fault verdicts scan.
-		var (
-			ts          statespace.TransitionSystem
-			ballSS      *statespace.SubSpace
-			ballGlobals []int64
-			ballDist    []int
-		)
-		exploreDone := obs.Default().Phase("explore")
-		switch {
-		case *reachable && *from == "":
-			k := 0
-			if *kfaults > 0 {
-				k = *kfaults
+		deps := service.Deps{Cache: cache}
+		if !*jsonOut {
+			// The text report renders inside the job, while the explored
+			// system is still open — -witness and -lasso walk it without
+			// a second exploration.
+			deps.Inspect = func(resp *service.Response, ts statespace.TransitionSystem) {
+				printReport(out, resp, ts, *witness, *lasso)
 			}
-			ballSS, ballGlobals, ballDist, err = exploreBall(cache, a, pol, k, opt)
-			if err == nil && ballSS == nil {
-				err = fmt.Errorf("the legitimate set is empty; give explicit seeds with -from")
-			}
-			ts = ballSS
-		case *reachable:
-			var cfgs []protocol.Configuration
-			if cfgs, err = parseSeeds(*from, a.Graph().N()); err == nil {
-				ts, _, err = cache.BuildSubSpaceFromConfigs(a, pol, cfgs, opt)
-			}
-		default:
-			ts, _, err = cache.BuildSpace(a, pol, opt)
 		}
-		exploreDone()
+		mgr := service.NewManager(service.Config{Deps: deps, Workers: 1})
+		defer mgr.Shutdown(context.Background())
+		resp, err := mgr.Do(context.Background(), req)
 		if err != nil {
+			if resp != nil && resp.CoreReport != nil && !*jsonOut {
+				// A hierarchy violation (a library bug) still renders the
+				// offending report before failing.
+				fmt.Fprint(out, resp.CoreReport)
+			}
 			return err
 		}
-		defer closeSystem(ts)
-		rep, err := core.AnalyzeSpace(ts)
-		if err != nil {
-			return err
+		if *jsonOut {
+			return resp.WriteJSON(out)
 		}
-		fmt.Fprint(out, rep)
-		if err := rep.CheckHierarchy(); err != nil {
-			return err
-		}
-		if rep.FairLassoFound {
-			fmt.Fprintln(out, "  note: a strongly fair diverging execution exists — not self-stabilizing even under the strongly fair scheduler")
-		}
-		sp := checker.FromSpace(ts)
-		if *witness {
-			printWitness(out, sp)
-		}
-		if *kfaults >= 0 {
-			ss, globals, dist := ballSS, ballGlobals, ballDist
-			if ss == nil {
-				// Full-space or explicit-seed report: the ball pipeline still
-				// runs exactly once, for the verdicts only.
-				ss, globals, dist, err = exploreBall(cache, a, pol, *kfaults, opt)
-				if err != nil {
-					return err
-				}
-				if ss != nil {
-					defer ss.Close()
-				}
-			}
-			// A nil subspace (empty legitimate set) yields vacuous verdicts.
-			verdicts := checker.BallVerdictsOver(ss, checker.BallLocalDistances(ss, globals, dist), *kfaults)
-			for _, v := range verdicts {
-				fmt.Fprintf(out, "  k=%d faults: %d configurations, possible=%v certain=%v\n",
-					v.K, v.Configs, v.Possible, v.Certain)
-			}
-			if ss != nil {
-				fmt.Fprintf(out, "  (ball closure: %d of %d configurations explored)\n",
-					ss.NumStates(), ss.TotalConfigs())
-			}
-		}
-		if *lasso {
-			l := sp.FindStronglyFairLasso()
-			if !l.Found {
-				fmt.Fprintln(out, "  no strongly fair diverging lasso found")
-			} else {
-				fmt.Fprintf(out, "  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
-					len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
-			}
+		if req.Mode == service.ModeSweep {
+			printSweep(out, resp)
 		}
 		return nil
 	}()
@@ -255,80 +207,64 @@ func run(args []string, out io.Writer) error {
 	return runErr
 }
 
-// runSweep is the -kmax mode: the incremental k-fault walk, printing one
-// verdict line per radius and the smallest convergence-breaking k. The
-// sweep pays for one ball enumeration and one closure exploration in
-// total — and with a warm cache, for neither.
-func runSweep(out io.Writer, cache *spacecache.Cache, a protocol.Algorithm, pol scheduler.Policy, kmax int, opt statespace.Options) error {
-	done := obs.Default().Phase("sweep")
-	res, err := checker.SweepKFaults(checker.CacheSources(cache), a, pol, kmax, opt, true)
-	done()
-	if err != nil {
-		return err
+// printReport renders the classic text report from the job's result
+// document. It runs inside the job (service.Deps.Inspect) while the
+// explored system is still open, which is what lets -witness and -lasso
+// walk the space without a second exploration.
+func printReport(out io.Writer, resp *service.Response, ts statespace.TransitionSystem, witness, lasso bool) {
+	rep := resp.CoreReport
+	fmt.Fprint(out, rep)
+	if rep.FairLassoFound {
+		fmt.Fprintln(out, "  note: a strongly fair diverging execution exists — not self-stabilizing even under the strongly fair scheduler")
 	}
-	if res.Sub != nil {
-		defer res.Sub.Close()
+	sp := checker.FromSpace(ts)
+	if witness {
+		printWitness(out, sp)
 	}
-	fmt.Fprintf(out, "incremental k-fault sweep of %s under %s scheduler (k = 0..%d)\n",
-		a.Name(), pol.Name(), kmax)
-	for _, v := range res.Verdicts {
+	for _, v := range resp.KFaults {
 		fmt.Fprintf(out, "  k=%d faults: %d configurations, possible=%v certain=%v\n",
 			v.K, v.Configs, v.Possible, v.Certain)
 	}
-	if res.BreaksCertainAt >= 0 {
+	if resp.Ball != nil {
+		fmt.Fprintf(out, "  (ball closure: %d of %d configurations explored)\n",
+			resp.Ball.ClosureStates, resp.Ball.TotalConfigs)
+	}
+	if lasso {
+		l := sp.FindStronglyFairLasso()
+		if !l.Found {
+			fmt.Fprintln(out, "  no strongly fair diverging lasso found")
+		} else {
+			fmt.Fprintf(out, "  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
+				len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
+		}
+	}
+}
+
+// printSweep renders the -kmax walk: one verdict line per radius and the
+// smallest convergence-breaking k. The sweep pays for one ball
+// enumeration and one closure exploration in total — and with a warm
+// cache, for neither.
+func printSweep(out io.Writer, resp *service.Response) {
+	s := resp.Sweep
+	fmt.Fprintf(out, "incremental k-fault sweep of %s under %s scheduler (k = 0..%d)\n",
+		s.Algorithm, s.Policy, s.KMax)
+	for _, v := range s.Verdicts {
+		fmt.Fprintf(out, "  k=%d faults: %d configurations, possible=%v certain=%v\n",
+			v.K, v.Configs, v.Possible, v.Certain)
+	}
+	if s.BreaksCertainAt >= 0 {
 		fmt.Fprintf(out, "  smallest k breaking certain convergence: %d (counterexample %v)\n",
-			res.BreaksCertainAt, res.Verdicts[res.BreaksCertainAt].Counterexample)
+			s.BreaksCertainAt, protocol.Configuration(s.Verdicts[s.BreaksCertainAt].Counterexample))
 	} else {
-		fmt.Fprintf(out, "  no k <= %d breaks certain convergence\n", kmax)
+		fmt.Fprintf(out, "  no k <= %d breaks certain convergence\n", s.KMax)
 	}
-	if res.BreaksPossibleAt >= 0 {
-		fmt.Fprintf(out, "  smallest k breaking possible convergence: %d\n", res.BreaksPossibleAt)
+	if s.BreaksPossibleAt >= 0 {
+		fmt.Fprintf(out, "  smallest k breaking possible convergence: %d\n", s.BreaksPossibleAt)
 	}
-	if res.Sub != nil {
+	if resp.Ball != nil {
 		fmt.Fprintf(out, "  (ball closure: %d of %d configurations explored, incrementally)\n",
-			res.Sub.NumStates(), res.Sub.TotalConfigs())
+			resp.Ball.ClosureStates, resp.Ball.TotalConfigs)
 	}
-	return nil
-}
-
-// exploreBall enumerates the distance-≤k fault ball and explores its
-// forward closure — through the cache, so a warm run loads both the ball
-// (under its (instance, k) key) and the closure subspace, performing zero
-// full-range passes and zero exploration. Cold, the ball enumeration
-// itself skips the legitimacy scan whenever the algorithm enumerates L in
-// closed form. A nil subspace with nil error means the legitimate set is
-// empty.
-func exploreBall(cache *spacecache.Cache, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
-	return checker.BallClosureWith(checker.CacheSources(cache), a, pol, k, opt)
-}
-
-// closeSystem releases the mapping of a zero-copy cache-loaded system once
-// the run is done with it; a no-op for built or decoded systems.
-func closeSystem(ts statespace.TransitionSystem) {
-	if c, ok := ts.(interface{ Close() error }); ok {
-		c.Close()
-	}
-}
-
-// parseSeeds parses "1,0,2;0,0,0" into configurations of n states.
-func parseSeeds(s string, n int) ([]protocol.Configuration, error) {
-	var out []protocol.Configuration
-	for _, part := range strings.Split(s, ";") {
-		fields := strings.Split(strings.TrimSpace(part), ",")
-		if len(fields) != n {
-			return nil, fmt.Errorf("seed %q has %d states, want %d", part, len(fields), n)
-		}
-		cfg := make(protocol.Configuration, n)
-		for i, f := range fields {
-			v, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil {
-				return nil, fmt.Errorf("seed %q: %w", part, err)
-			}
-			cfg[i] = v
-		}
-		out = append(out, cfg)
-	}
-	return out, nil
 }
 
 // printWitness prints the shortest convergence path from the configuration

@@ -72,6 +72,21 @@ func TestGoldenKMaxUnbroken(t *testing.T) {
 	runGolden(t, "kmax2_dijkstra4", "-alg", "dijkstra", "-n", "4", "-k", "4", "-kmax", "2")
 }
 
+// The -json goldens pin the shared service result schema: these are the
+// exact bytes stabserve's GET /jobs/{id}/result serves for the same
+// request (the CI smoke job diffs the two surfaces).
+func TestGoldenJSONReport(t *testing.T) {
+	runGolden(t, "json_report_tokenring6", "-alg", "tokenring", "-n", "6", "-json")
+}
+
+func TestGoldenJSONKFaults(t *testing.T) {
+	runGolden(t, "json_kfaults1_tokenring6", "-alg", "tokenring", "-n", "6", "-kfaults", "1", "-json")
+}
+
+func TestGoldenJSONKMax(t *testing.T) {
+	runGolden(t, "json_kmax3_tokenring6", "-alg", "tokenring", "-n", "6", "-kmax", "3", "-json")
+}
+
 func TestGoldenCacheWarmRuns(t *testing.T) {
 	// Cold and warm runs through one cache directory must render
 	// byte-identical output, for the report, the ball pipeline and the

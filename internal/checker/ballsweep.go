@@ -18,6 +18,7 @@ package checker
 // is O(ball) end to end — zero legitimacy scans, zero exploration.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -46,7 +47,7 @@ type ballGrower struct {
 // seeded from the algorithm's closed-form enumeration when it implements
 // protocol.LegitEnumerator and from a parallel legitimacy scan of the
 // index range otherwise.
-func newBallGrower(a protocol.Algorithm, workers int, maxStates int64) (*ballGrower, error) {
+func newBallGrower(ctx context.Context, a protocol.Algorithm, workers int, maxStates int64) (*ballGrower, error) {
 	enc, err := protocol.NewEncoder(a, 0)
 	if err != nil {
 		return nil, fmt.Errorf("checker: %w", err)
@@ -61,7 +62,7 @@ func newBallGrower(a protocol.Algorithm, workers int, maxStates int64) (*ballGro
 	if le, ok := a.(protocol.LegitEnumerator); ok {
 		err = b.seedEnumerated(le)
 	} else {
-		err = b.seedScan(workers)
+		err = b.seedScan(ctx, workers)
 	}
 	if err != nil {
 		return nil, err
@@ -127,7 +128,8 @@ func (b *ballGrower) seedEnumerated(le protocol.LegitEnumerator) error {
 // per-chunk odometer decode, chunks stitched in index order so the seed
 // enumeration is deterministic and already ascending. The grain grows with
 // the range so the chunk-header array stays bounded on huge index ranges.
-func (b *ballGrower) seedScan(workers int) error {
+// ctx is checked per chunk, so a cancelled scan stops claiming work.
+func (b *ballGrower) seedScan(ctx context.Context, workers int) error {
 	total := b.enc.Total()
 	if total > int64(math.MaxInt) {
 		return fmt.Errorf("checker: %d configurations exceed the platform index range", total)
@@ -143,6 +145,9 @@ func (b *ballGrower) seedScan(workers int) error {
 	numChunks := (total + grain - 1) / grain
 	perChunk := make([][]int64, numChunks)
 	statespace.ForRanges(int(total), workers, int(grain), func(lo, hi int) bool {
+		if ctx.Err() != nil {
+			return false // the post-pool ctx check reports the cause
+		}
 		var found []int64
 		cfg := make(protocol.Configuration, n)
 		for g := int64(lo); g < int64(hi); g++ {
@@ -158,6 +163,9 @@ func (b *ballGrower) seedScan(workers int) error {
 		perChunk[int64(lo)/grain] = found
 		return true
 	})
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("checker: legitimacy scan canceled: %w", err)
+	}
 	for _, found := range perChunk {
 		for _, g := range found {
 			b.ball.Add(g)
@@ -169,8 +177,11 @@ func (b *ballGrower) seedScan(workers int) error {
 
 // grow expands the ball by one mutation shell: every configuration at
 // distance exactly k spawns its single-process mutations, and the new ones
-// enter at distance k+1.
-func (b *ballGrower) grow() error {
+// enter at distance k+1. ctx is checked once per shell, at entry.
+func (b *ballGrower) grow(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("checker: ball enumeration canceled at radius %d: %w", b.k, err)
+	}
 	n := b.a.Graph().N()
 	end := b.ball.Len() // new entries land at dist k+1; don't re-expand them
 	for i := 0; i < end; i++ {
@@ -204,9 +215,9 @@ func (b *ballGrower) grow() error {
 	return nil
 }
 
-func (b *ballGrower) growTo(k int) error {
+func (b *ballGrower) growTo(ctx context.Context, k int) error {
 	for b.k < k {
-		if err := b.grow(); err != nil {
+		if err := b.grow(ctx); err != nil {
 			return err
 		}
 	}
@@ -253,7 +264,13 @@ type BallSweep struct {
 // BallClosure's semantics (MaxStates caps ball and closure alike; results
 // are independent of Workers).
 func NewBallSweep(a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options) (*BallSweep, error) {
-	ball, err := newBallGrower(a, opt.Workers, opt.MaxStates)
+	return NewBallSweepContext(context.Background(), a, pol, opt)
+}
+
+// NewBallSweepContext is NewBallSweep with cooperative cancellation of the
+// radius-0 seeding (the legitimacy scan on the no-enumerator path).
+func NewBallSweepContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options) (*BallSweep, error) {
+	ball, err := newBallGrower(ctx, a, opt.Workers, opt.MaxStates)
 	if err != nil {
 		return nil, err
 	}
@@ -290,10 +307,14 @@ func (s *BallSweep) BallSize() int { return s.ball.ball.Len() }
 
 // Grow extends the ball from radius K to K+1 — one mutation shell, no
 // transition exploration (that happens at Seal).
-func (s *BallSweep) Grow() error { return s.ball.grow() }
+func (s *BallSweep) Grow() error { return s.ball.grow(context.Background()) }
 
 // GrowTo grows the ball to radius k (a no-op when already there).
-func (s *BallSweep) GrowTo(k int) error { return s.ball.growTo(k) }
+func (s *BallSweep) GrowTo(k int) error { return s.ball.growTo(context.Background(), k) }
+
+// GrowToContext is GrowTo with cooperative cancellation, checked once per
+// mutation shell.
+func (s *BallSweep) GrowToContext(ctx context.Context, k int) error { return s.ball.growTo(ctx, k) }
 
 // Seal explores the forward closure of every ball configuration not yet
 // explored and returns a canonical snapshot: the closure subspace plus the
@@ -303,6 +324,12 @@ func (s *BallSweep) GrowTo(k int) error { return s.ball.growTo(k) }
 // and Seal again freely. An empty ball (empty legitimate set) seals to a
 // nil subspace with empty globals, mirroring BallClosure.
 func (s *BallSweep) Seal() (*statespace.SubSpace, []int64, []int, error) {
+	return s.SealContext(context.Background())
+}
+
+// SealContext is Seal with cooperative cancellation of the closure
+// exploration, checked at every BFS shell boundary.
+func (s *BallSweep) SealContext(ctx context.Context) (*statespace.SubSpace, []int64, []int, error) {
 	globals, dist := s.ball.sorted()
 	if len(globals) == 0 {
 		return nil, globals, dist, nil
@@ -316,7 +343,7 @@ func (s *BallSweep) Seal() (*statespace.SubSpace, []int64, []int, error) {
 	}
 	// Extend with the whole ball: already-discovered members are dedup
 	// no-ops, so only genuinely new states are explored.
-	if err := s.builder.Extend(globals); err != nil {
+	if err := s.builder.ExtendContext(ctx, globals); err != nil {
 		return nil, nil, nil, fmt.Errorf("checker: %w", err)
 	}
 	return s.builder.Seal(), globals, dist, nil
@@ -353,13 +380,14 @@ type Sources struct {
 	Subs SubSpaceStore
 }
 
-// build resolves the closure builder, defaulting to statespace.BuildFrom.
+// build resolves the closure builder, defaulting to
+// statespace.BuildFromContext.
 func (src Sources) build() SubSpaceBuilder {
 	if src.Build != nil {
 		return src.Build
 	}
-	return func(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
-		return statespace.BuildFrom(a, pol, seeds, opt)
+	return func(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
+		return statespace.BuildFromContext(ctx, a, pol, seeds, opt)
 	}
 }
 
@@ -369,13 +397,21 @@ func (src Sources) build() SubSpaceBuilder {
 // loads or builds through src.Build. On a fully warm cache the pipeline
 // runs zero algorithm callbacks of any kind.
 func BallClosureWith(src Sources, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
+	return BallClosureWithContext(context.Background(), src, a, pol, k, opt)
+}
+
+// BallClosureWithContext is BallClosureWith with cooperative cancellation
+// of both stages: the ball enumeration checks ctx per mutation shell and
+// the closure exploration per BFS shell. A cancelled pipeline stores
+// nothing (the injected stores only see completed artifacts).
+func BallClosureWithContext(ctx context.Context, src Sources, a protocol.Algorithm, pol scheduler.Policy, k int, opt statespace.Options) (*statespace.SubSpace, []int64, []int, error) {
 	globals, ballDist, ok := []int64(nil), []int(nil), false
 	if src.Balls != nil {
 		globals, ballDist, ok = src.Balls.LoadBall(a, k, statespace.StateCap(opt.MaxStates))
 	}
 	if !ok {
 		var err error
-		globals, ballDist, err = FaultBall(a, k, opt.Workers, opt.MaxStates)
+		globals, ballDist, err = FaultBallContext(ctx, a, k, opt.Workers, opt.MaxStates)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -386,7 +422,7 @@ func BallClosureWith(src Sources, a protocol.Algorithm, pol scheduler.Policy, k 
 	if len(globals) == 0 {
 		return nil, globals, ballDist, nil
 	}
-	ss, err := src.build()(a, pol, globals, opt)
+	ss, err := src.build()(ctx, a, pol, globals, opt)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("checker: %w", err)
 	}
@@ -445,6 +481,16 @@ type SweepResult struct {
 // callbacks, and the sweep resumes incremental exploration at the first
 // radius that misses.
 func SweepKFaults(src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax int, opt statespace.Options, stopAtBreak bool) (*SweepResult, error) {
+	return SweepKFaultsContext(context.Background(), src, a, pol, kmax, opt, stopAtBreak)
+}
+
+// SweepKFaultsContext is SweepKFaults with cooperative cancellation: ctx
+// is checked at every sweep-radius boundary, and threads through to the
+// shell-granular checks of the ball enumeration and closure exploration —
+// so a cancelled sweep returns an error wrapping ctx.Err() without
+// finishing the walk, and the injected stores only ever see completed
+// radii.
+func SweepKFaultsContext(ctx context.Context, src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax int, opt statespace.Options, stopAtBreak bool) (*SweepResult, error) {
 	if kmax < 0 {
 		return nil, fmt.Errorf("checker: negative sweep radius %d", kmax)
 	}
@@ -452,6 +498,12 @@ func SweepKFaults(src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax 
 	maxStates := statespace.StateCap(opt.MaxStates)
 	var sweep *BallSweep
 	for k := 0; k <= kmax; k++ {
+		if err := ctx.Err(); err != nil {
+			if res.Sub != nil {
+				res.Sub.Close()
+			}
+			return nil, fmt.Errorf("checker: sweep canceled at radius %d: %w", k, err)
+		}
 		var (
 			ss      *statespace.SubSpace
 			globals []int64
@@ -492,7 +544,7 @@ func SweepKFaults(src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax 
 				if res.Globals != nil {
 					sweep, err = ResumeBallSweep(a, pol, k-1, res.Globals, res.Dist, res.Sub, opt)
 				} else {
-					sweep, err = NewBallSweep(a, pol, opt)
+					sweep, err = NewBallSweepContext(ctx, a, pol, opt)
 				}
 				if err != nil {
 					return nil, err
@@ -500,11 +552,11 @@ func SweepKFaults(src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax 
 			}
 		}
 		if !hit {
-			if err := sweep.GrowTo(k); err != nil {
+			if err := sweep.GrowToContext(ctx, k); err != nil {
 				return nil, err
 			}
 			var err error
-			if ss, globals, dist, err = sweep.Seal(); err != nil {
+			if ss, globals, dist, err = sweep.SealContext(ctx); err != nil {
 				return nil, err
 			}
 			if src.Balls != nil && !ballStored {
@@ -563,7 +615,7 @@ func SweepKFaults(src Sources, a protocol.Algorithm, pol scheduler.Policy, kmax 
 // through. The parameter is structural, so this package stays independent
 // of the cache layer.
 func CacheSources(c interface {
-	BuildSubSpace(protocol.Algorithm, scheduler.Policy, []int64, statespace.Options) (*statespace.SubSpace, bool, error)
+	BuildSubSpaceContext(context.Context, protocol.Algorithm, scheduler.Policy, []int64, statespace.Options) (*statespace.SubSpace, bool, error)
 	LoadBall(a protocol.Algorithm, k int, maxStates int64) ([]int64, []int, bool)
 	StoreBall(a protocol.Algorithm, k int, globals []int64, dist []int) error
 	LoadSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, bool)

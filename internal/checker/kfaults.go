@@ -21,6 +21,8 @@ package checker
 // incremental across k on top of the same machinery.
 
 import (
+	"context"
+
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/statespace"
@@ -179,11 +181,19 @@ func (sp *Space) divergingStates() []bool {
 // walking k upward (the smallest-k-that-breaks search) keep a BallSweep
 // alive and Grow it instead of re-enumerating per k.
 func FaultBall(a protocol.Algorithm, k int, workers int, maxStates int64) ([]int64, []int, error) {
-	b, err := newBallGrower(a, workers, maxStates)
+	return FaultBallContext(context.Background(), a, k, workers, maxStates)
+}
+
+// FaultBallContext is FaultBall with cooperative cancellation: ctx is
+// checked before every mutation shell (and per chunk of the legitimacy
+// scan on the no-enumerator path), so a cancelled enumeration returns an
+// error wrapping ctx.Err() in bounded time.
+func FaultBallContext(ctx context.Context, a protocol.Algorithm, k int, workers int, maxStates int64) ([]int64, []int, error) {
+	b, err := newBallGrower(ctx, a, workers, maxStates)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := b.growTo(k); err != nil {
+	if err := b.growTo(ctx, k); err != nil {
 		return nil, nil, err
 	}
 	g, d := b.sorted()
@@ -191,11 +201,12 @@ func FaultBall(a protocol.Algorithm, k int, workers int, maxStates int64) ([]int
 }
 
 // SubSpaceBuilder explores the forward closure of a seed set — the shape
-// of statespace.BuildFrom, which BallClosure uses directly, and of the
-// load-or-build wrappers an on-disk space cache provides (a closure over
-// spacecache.Cache.BuildSubSpace satisfies it without this package
-// depending on the cache).
-type SubSpaceBuilder func(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error)
+// of statespace.BuildFromContext, which BallClosure uses directly, and of
+// the load-or-build wrappers an on-disk space cache provides (a closure
+// over spacecache.Cache.BuildSubSpaceContext satisfies it without this
+// package depending on the cache). Implementations honor ctx with
+// statespace.BuildFromContext's shell-boundary semantics.
+type SubSpaceBuilder func(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error)
 
 // BallClosure enumerates the distance-≤k fault ball (FaultBall) and
 // frontier-explores its forward closure (statespace.BuildFrom) — exactly
@@ -220,15 +231,15 @@ func BallClosureUsing(build SubSpaceBuilder, a protocol.Algorithm, pol scheduler
 }
 
 // BuilderFromCache adapts any load-or-build source with the shape of
-// spacecache.Cache.BuildSubSpace (which is nil-receiver-safe, so a missing
-// -cache flag threads straight through) to a SubSpaceBuilder, discarding
-// the hit flag. The parameter is structural, so this package stays
-// independent of the cache layer.
+// spacecache.Cache.BuildSubSpaceContext (which is nil-receiver-safe, so a
+// missing -cache flag threads straight through) to a SubSpaceBuilder,
+// discarding the hit flag. The parameter is structural, so this package
+// stays independent of the cache layer.
 func BuilderFromCache(c interface {
-	BuildSubSpace(protocol.Algorithm, scheduler.Policy, []int64, statespace.Options) (*statespace.SubSpace, bool, error)
+	BuildSubSpaceContext(context.Context, protocol.Algorithm, scheduler.Policy, []int64, statespace.Options) (*statespace.SubSpace, bool, error)
 }) SubSpaceBuilder {
-	return func(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
-		ss, _, err := c.BuildSubSpace(a, pol, seeds, opt)
+	return func(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (*statespace.SubSpace, error) {
+		ss, _, err := c.BuildSubSpaceContext(ctx, a, pol, seeds, opt)
 		return ss, err
 	}
 }

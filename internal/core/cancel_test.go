@@ -1,0 +1,37 @@
+package core
+
+// Cancellation tests for the analysis facade: every Context variant
+// propagates into its exploration and solver stages.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/scheduler"
+)
+
+func TestAnalyzeWithContextPreCanceled(t *testing.T) {
+	ring, err := tokenring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeWithContext(ctx, ring, scheduler.CentralPolicy{}, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled AnalyzeWithContext: err = %v, want a wrapped context.Canceled", err)
+	}
+}
+
+func TestSweepKFaultsContextPreCanceled(t *testing.T) {
+	ring, err := tokenring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepKFaultsContext(ctx, ring, scheduler.CentralPolicy{}, 2, Options{}, true); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled SweepKFaultsContext: err = %v, want a wrapped context.Canceled", err)
+	}
+}

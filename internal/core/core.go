@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -151,18 +152,26 @@ func Analyze(a protocol.Algorithm, pol scheduler.Policy, maxStates int64) (*Repo
 // Options.CacheDir set, "once" extends across process runs: the explored
 // space is persisted and later invocations load it instead of exploring.
 func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Report, error) {
+	return AnalyzeWithContext(context.Background(), a, pol, opt)
+}
+
+// AnalyzeWithContext is AnalyzeWith with cooperative cancellation: the
+// exploration checks ctx at chunk granularity and the analysis at its
+// phase and solver-block boundaries, so a cancelled classification returns
+// an error wrapping ctx.Err() in bounded time and stores nothing.
+func AnalyzeWithContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Report, error) {
 	cache, err := opt.openCache()
 	if err != nil {
 		return nil, err
 	}
 	done := obs.Or(opt.Obs).Phase("explore")
-	ts, _, err := cache.BuildSpace(a, pol, opt.spaceOptions())
+	ts, _, err := cache.BuildSpaceContext(ctx, a, pol, opt.spaceOptions())
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s: %w", a.Name(), err)
 	}
 	defer closeSystem(ts)
-	return AnalyzeSpace(ts)
+	return AnalyzeSpaceContext(ctx, ts)
 }
 
 // AnalyzeFrom classifies the behavior of the algorithm on the subspace
@@ -173,18 +182,24 @@ func AnalyzeWith(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Repo
 // k-fault and unsupportive-environment analyses this enables explore balls
 // of thousands of states inside spaces of millions.
 func AnalyzeFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Configuration, opt Options) (*Report, error) {
+	return AnalyzeFromContext(context.Background(), a, pol, seeds, opt)
+}
+
+// AnalyzeFromContext is AnalyzeFrom with AnalyzeWithContext's cancellation
+// semantics (frontier-shell granularity during exploration).
+func AnalyzeFromContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Configuration, opt Options) (*Report, error) {
 	cache, err := opt.openCache()
 	if err != nil {
 		return nil, err
 	}
 	done := obs.Or(opt.Obs).Phase("explore")
-	ss, _, err := cache.BuildSubSpaceFromConfigs(a, pol, seeds, opt.spaceOptions())
+	ss, _, err := cache.BuildSubSpaceFromConfigsContext(ctx, a, pol, seeds, opt.spaceOptions())
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: exploring %s from %d seeds: %w", a.Name(), len(seeds), err)
 	}
 	defer closeSystem(ss)
-	return AnalyzeSpace(ss)
+	return AnalyzeSpaceContext(ctx, ss)
 }
 
 // SweepKFaults walks the k-fault hierarchy k = 0..kmax incrementally
@@ -198,12 +213,20 @@ func AnalyzeFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []protocol.Co
 // enumerations and sealed closures persist across process runs, so a warm
 // sweep is exploration-free.
 func SweepKFaults(a protocol.Algorithm, pol scheduler.Policy, kmax int, opt Options, stopAtBreak bool) (*checker.SweepResult, error) {
+	return SweepKFaultsContext(context.Background(), a, pol, kmax, opt, stopAtBreak)
+}
+
+// SweepKFaultsContext is SweepKFaults with cooperative cancellation at
+// sweep-radius granularity (checker.SweepKFaultsContext semantics): a
+// cancelled sweep stops at the next radius boundary and never persists a
+// partial radius.
+func SweepKFaultsContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, kmax int, opt Options, stopAtBreak bool) (*checker.SweepResult, error) {
 	cache, err := opt.openCache()
 	if err != nil {
 		return nil, err
 	}
 	done := obs.Or(opt.Obs).Phase("sweep")
-	res, err := checker.SweepKFaults(checker.CacheSources(cache), a, pol, kmax, opt.spaceOptions(), stopAtBreak)
+	res, err := checker.SweepKFaultsContext(ctx, checker.CacheSources(cache), a, pol, kmax, opt.spaceOptions(), stopAtBreak)
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("core: sweeping %s: %w", a.Name(), err)
@@ -221,6 +244,14 @@ func SweepKFaults(a protocol.Algorithm, pol scheduler.Policy, kmax int, opt Opti
 // pinned for the duration of the analysis, so a concurrent Close cannot
 // unmap the arrays mid-pass.
 func AnalyzeSpace(ts statespace.TransitionSystem) (*Report, error) {
+	return AnalyzeSpaceContext(context.Background(), ts)
+}
+
+// AnalyzeSpaceContext is AnalyzeSpace with cooperative cancellation: ctx is
+// checked between the checker and Markov phases and, inside the
+// hitting-time solve, at solver-block boundaries
+// (markov.HittingTimesContext).
+func AnalyzeSpaceContext(ctx context.Context, ts statespace.TransitionSystem) (*Report, error) {
 	if p, ok := ts.(interface {
 		Acquire() error
 		Release() error
@@ -241,6 +272,9 @@ func AnalyzeSpace(ts statespace.TransitionSystem) (*Report, error) {
 	certain := sp.CheckCertainConvergence()
 	lasso := sp.FindStronglyFairLasso()
 	checkDone()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: analysis of %s canceled after checker phase: %w", a.Name(), err)
+	}
 
 	markovDone := o.Phase("markov")
 	defer markovDone()
@@ -267,7 +301,7 @@ func AnalyzeSpace(ts statespace.TransitionSystem) (*Report, error) {
 		TotalConfigs:             ts.TotalConfigs(),
 	}
 	if allOne {
-		h, err := chain.HittingTimes(target)
+		h, err := chain.HittingTimesContext(ctx, target)
 		if err != nil {
 			return nil, fmt.Errorf("core: hitting times for %s: %w", a.Name(), err)
 		}

@@ -1,0 +1,29 @@
+package markov
+
+// Cancellation test for the hitting-time solver: HittingTimesContext
+// checks its context at block boundaries, so a pre-canceled context
+// fails before any block is solved.
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestHittingTimesContextPreCanceled(t *testing.T) {
+	c := New(3)
+	if err := c.SetRow(0, []Trans{{To: 1, Prob: 0.5}, {To: 0, Prob: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRow(1, []Trans{{To: 2, Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRow(2, []Trans{{To: 2, Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.HittingTimesContext(ctx, []bool{false, false, true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled HittingTimesContext: err = %v, want a wrapped context.Canceled", err)
+	}
+}

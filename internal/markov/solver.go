@@ -16,6 +16,7 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -102,6 +103,15 @@ func growI32(buf []int32, n int) []int32 {
 // acyclic condensations and dense blocks, and iterated to a confirmed
 // residual inside large strongly connected blocks.
 func (c *Chain) HittingTimes(target []bool) ([]float64, error) {
+	return c.HittingTimesContext(context.Background(), target)
+}
+
+// HittingTimesContext is HittingTimes with cooperative cancellation: ctx
+// is checked at block-schedule granularity (before every SCC block solve,
+// on both the sequential and the Kahn-pooled path), so a cancelled solve
+// returns an error wrapping ctx.Err() without finishing the condensation
+// walk.
+func (c *Chain) HittingTimesContext(ctx context.Context, target []bool) ([]float64, error) {
 	c.seal()
 	if len(target) != c.n {
 		return nil, fmt.Errorf("markov: target length %d != states %d", len(target), c.n)
@@ -122,7 +132,7 @@ func (c *Chain) HittingTimes(target []bool) ([]float64, error) {
 	if m == 0 {
 		return h, nil
 	}
-	if err := c.solveSCC(transient, h); err != nil {
+	if err := c.solveSCC(ctx, transient, h); err != nil {
 		return nil, err
 	}
 	return h, nil
@@ -131,8 +141,8 @@ func (c *Chain) HittingTimes(target []bool) ([]float64, error) {
 // solveSCC fills h over the transient states. Every transient state's
 // successors are transient or target (probability-1 reachability is closed
 // under successors), so h of every cross-block edge target is final by the
-// time a block solves.
-func (c *Chain) solveSCC(transient []bool, h []float64) error {
+// time a block solves. ctx is checked before every block solve.
+func (c *Chain) solveSCC(ctx context.Context, transient []bool, h []float64) error {
 	comp, numComp := statespace.SCC(c.n, c.off, c.succ, transient)
 	if numComp == 0 {
 		return nil
@@ -164,6 +174,9 @@ func (c *Chain) solveSCC(transient []bool, h []float64) error {
 		// cross edge points into a lower id), so ascending id order is
 		// dependency order.
 		for b := int32(0); b < int32(numComp); b++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("markov: hitting-time solve canceled at block %d of %d: %w", b, numComp, err)
+			}
 			states := members[blockOff[b]:blockOff[b+1]]
 			if err := c.solveBlock(b, states, local, comp, h, workers); err != nil {
 				return err
@@ -234,8 +247,14 @@ func (c *Chain) solveSCC(transient []bool, h []float64) error {
 			defer wg.Done()
 			for b := range ready {
 				if !aborted.Load() {
-					states := members[blockOff[b]:blockOff[b+1]]
-					if err := c.solveBlock(b, states, local, comp, h, workers); err != nil {
+					err := ctx.Err()
+					if err != nil {
+						err = fmt.Errorf("markov: hitting-time solve canceled: %w", err)
+					} else {
+						states := members[blockOff[b]:blockOff[b+1]]
+						err = c.solveBlock(b, states, local, comp, h, workers)
+					}
+					if err != nil {
 						aborted.Store(true)
 						errMu.Lock()
 						if firstErr == nil {

@@ -25,6 +25,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -237,16 +238,29 @@ type engine struct {
 // Run executes a from init over the configured network until a legitimacy
 // check succeeds or the round budget is exhausted.
 func Run(a protocol.Algorithm, init protocol.Configuration, opts Options) (Result, error) {
+	return RunContext(context.Background(), a, init, opts)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked at
+// legitimacy-check round boundaries (every Options.CheckEvery rounds), so
+// a cancelled simulation returns an error wrapping ctx.Err() within one
+// check interval.
+func RunContext(ctx context.Context, a protocol.Algorithm, init protocol.Configuration, opts Options) (Result, error) {
 	t, err := NewTopology(a)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunOn(t, a, init, opts)
+	return RunOnContext(ctx, t, a, init, opts)
 }
 
 // RunOn is Run with a prebuilt Topology (amortizing the precomputation
 // across the runs of a trial batch).
 func RunOn(t *Topology, a protocol.Algorithm, init protocol.Configuration, opts Options) (Result, error) {
+	return RunOnContext(context.Background(), t, a, init, opts)
+}
+
+// RunOnContext is RunOn with RunContext's cancellation semantics.
+func RunOnContext(ctx context.Context, t *Topology, a protocol.Algorithm, init protocol.Configuration, opts Options) (Result, error) {
 	if len(init) != t.n {
 		return Result{}, fmt.Errorf("netsim: initial configuration has %d states, topology %d", len(init), t.n)
 	}
@@ -310,6 +324,9 @@ func RunOn(t *Topology, a protocol.Algorithm, init protocol.Configuration, opts 
 	o := obs.Or(opts.Obs)
 	for r := 0; r < budget; r++ {
 		if r%check == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("netsim: run canceled at round %d: %w", r, err)
+			}
 			if s.a.Legitimate(protocol.Configuration(s.state)) {
 				conv = r
 				break

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -62,6 +63,14 @@ func observeTrial(o *obs.Observer, trial, of int, seed int64, res Result, faults
 // seed from (opts.Seed, i) — sim.TrialSeed — so any single trial is
 // replayable in isolation and results never depend on batch order.
 func Trials(a protocol.Algorithm, trials int, opts Options) (TrialResult, error) {
+	return TrialsContext(context.Background(), a, trials, opts)
+}
+
+// TrialsContext is Trials with cooperative cancellation: ctx is checked at
+// trial boundaries (and within each run at its legitimacy-check rounds),
+// so a cancelled batch returns an error wrapping ctx.Err() without
+// finishing the remaining trials.
+func TrialsContext(ctx context.Context, a protocol.Algorithm, trials int, opts Options) (TrialResult, error) {
 	t, err := NewTopology(a)
 	if err != nil {
 		return TrialResult{}, err
@@ -73,7 +82,7 @@ func Trials(a protocol.Algorithm, trials int, opts Options) (TrialResult, error)
 		topts.Seed = sim.TrialSeed(opts.Seed, i)
 		topts.Trial = i
 		init := protocol.RandomConfiguration(a, rand.New(rand.NewSource(topts.Seed)))
-		res, err := RunOn(t, a, init, topts)
+		res, err := RunOnContext(ctx, t, a, init, topts)
 		if err != nil {
 			return TrialResult{}, err
 		}
@@ -91,6 +100,12 @@ func Trials(a protocol.Algorithm, trials int, opts Options) (TrialResult, error)
 // configuration is the first one yielded by the algorithm's closed-form
 // LegitEnumerator; algorithms without one must use RestabilizationFrom.
 func Restabilization(a protocol.Algorithm, trials, k int, opts Options) (TrialResult, error) {
+	return RestabilizationContext(context.Background(), a, trials, k, opts)
+}
+
+// RestabilizationContext is Restabilization with TrialsContext's
+// trial-boundary cancellation semantics.
+func RestabilizationContext(ctx context.Context, a protocol.Algorithm, trials, k int, opts Options) (TrialResult, error) {
 	le, ok := a.(protocol.LegitEnumerator)
 	if !ok {
 		return TrialResult{}, fmt.Errorf("netsim: %s has no LegitEnumerator; use RestabilizationFrom with an explicit legitimate configuration", a.Name())
@@ -103,12 +118,18 @@ func Restabilization(a protocol.Algorithm, trials, k int, opts Options) (TrialRe
 	if legit == nil {
 		return TrialResult{}, fmt.Errorf("netsim: %s has an empty legitimate set", a.Name())
 	}
-	return RestabilizationFrom(a, legit, trials, k, opts)
+	return RestabilizationFromContext(ctx, a, legit, trials, k, opts)
 }
 
 // RestabilizationFrom is Restabilization from an explicit legitimate
 // configuration.
 func RestabilizationFrom(a protocol.Algorithm, legit protocol.Configuration, trials, k int, opts Options) (TrialResult, error) {
+	return RestabilizationFromContext(context.Background(), a, legit, trials, k, opts)
+}
+
+// RestabilizationFromContext is RestabilizationFrom with TrialsContext's
+// trial-boundary cancellation semantics.
+func RestabilizationFromContext(ctx context.Context, a protocol.Algorithm, legit protocol.Configuration, trials, k int, opts Options) (TrialResult, error) {
 	if !a.Legitimate(legit) {
 		return TrialResult{}, fmt.Errorf("netsim: base configuration %v is not legitimate", legit)
 	}
@@ -123,7 +144,7 @@ func RestabilizationFrom(a protocol.Algorithm, legit protocol.Configuration, tri
 		topts.Seed = sim.TrialSeed(opts.Seed, i)
 		topts.Trial = i
 		init := sim.InjectFaults(a, legit, k, rand.New(rand.NewSource(topts.Seed)))
-		res, err := RunOn(t, a, init, topts)
+		res, err := RunOnContext(ctx, t, a, init, topts)
 		if err != nil {
 			return TrialResult{}, err
 		}

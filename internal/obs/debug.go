@@ -18,11 +18,12 @@ var publishOnce sync.Once
 
 // ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060")
 // serving /debug/pprof/*, /debug/vars (expvar, including an "obs" var
-// snapshotting this observer's registry) and /debug/obs (the snapshot
-// alone, as JSON). It returns the bound listener address — useful with
-// ":0" — and a shutdown func. The server runs until shut down; handler
-// reads see live metric values. Nil-safe: a disabled observer serves
-// pprof and expvar with an empty registry.
+// snapshotting this observer's registry), /debug/obs (the snapshot
+// alone, as JSON) and /metrics (the registry's OpenMetrics text
+// exposition, for Prometheus scrapers). It returns the bound listener
+// address — useful with ":0" — and a shutdown func. The server runs
+// until shut down; handler reads see live metric values. Nil-safe: a
+// disabled observer serves pprof and expvar with an empty registry.
 func (o *Observer) ServeDebug(addr string) (bound string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -46,6 +47,7 @@ func (o *Observer) ServeDebug(addr string) (bound string, shutdown func(), err e
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot())
 	})
+	mux.Handle("/metrics", MetricsHandler(reg))
 
 	srv := &http.Server{Handler: mux}
 	done := make(chan struct{})

@@ -57,6 +57,18 @@ func New() *Observer {
 	return &Observer{reg: NewRegistry(), start: time.Now()}
 }
 
+// NewWithRegistry returns an enabled Observer recording metrics into reg
+// (nil gets a fresh registry). Sharing one registry across several
+// observers is how per-job observers keep their own event hooks and sink
+// while all their counters aggregate into one scrape target: registry
+// writes are atomic, so concurrent jobs never lock each other.
+func NewWithRegistry(reg *Registry) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Observer{reg: reg, start: time.Now()}
+}
+
 // def is the process-wide default observer, nil when observability is
 // off. A single atomic pointer keeps the disabled read path at one load.
 var def atomic.Pointer[Observer]

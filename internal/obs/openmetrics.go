@@ -1,0 +1,99 @@
+// OpenMetrics text exposition of the registry, so any Prometheus-
+// compatible scraper can consume the same counters, gauges and log₂
+// histograms the debug endpoint snapshots as JSON. The format is the
+// OpenMetrics 1.0 text subset: one TYPE line per family, counters with
+// the mandatory _total suffix, histograms as cumulative le-bucketed
+// series derived from the power-of-two buckets, and the # EOF
+// terminator.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// OpenMetricsContentType is the content type of the exposition,
+// negotiated by Prometheus scrapers.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// metricName sanitizes a registry name into the OpenMetrics grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted names map their dots
+// (and any other illegal byte) to underscores, so "frontier.states"
+// scrapes as frontier_states.
+func metricName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) == 0 {
+		return "_"
+	}
+	return string(b)
+}
+
+// WriteOpenMetrics writes the registry's current state as an OpenMetrics
+// text exposition: every counter as a _total-suffixed counter family,
+// every gauge as a gauge family, and every histogram as a cumulative
+// le-bucketed histogram family whose bucket bounds are the registry's
+// power-of-two bucket ceilings (bucket i covers values v with
+// bits.Len64(v) == i, so its inclusive upper bound is 2^i - 1). Families
+// are emitted in sorted-name order — the registry's deterministic
+// iteration order — so two scrapes of identical state are byte-identical.
+// A nil registry writes only the terminator.
+func WriteOpenMetrics(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	counters, gauges, hists := r.Names()
+	for _, name := range counters {
+		n := metricName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+		fmt.Fprintf(bw, "%s_total %d\n", n, r.Counter(name).Value())
+	}
+	for _, name := range gauges {
+		n := metricName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(bw, "%s %d\n", n, r.Gauge(name).Value())
+	}
+	for _, name := range hists {
+		n := metricName(name)
+		s := r.Histogram(name).Snapshot()
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i := 0; i < 65; i++ {
+			c, ok := s.Buckets[i]
+			if !ok {
+				continue
+			}
+			cum += c
+			// Bucket i holds values with bit length i: upper bound 2^i - 1
+			// (bucket 0 is exactly {0}).
+			le := uint64(0)
+			if i > 0 {
+				le = 1<<uint(i) - 1
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", n, strconv.FormatUint(le, 10), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, s.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, s.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", n, s.Count)
+	}
+	fmt.Fprint(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// MetricsHandler returns an http.Handler serving the registry's
+// OpenMetrics exposition — the /metrics endpoint of both the debug
+// server and stabserve. Reads see live metric values.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		WriteOpenMetrics(w, r)
+	})
+}

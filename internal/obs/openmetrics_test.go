@@ -1,0 +1,106 @@
+package obs
+
+// Exposition-format tests: the OpenMetrics rendering of the registry is
+// pinned byte-for-byte — counters with _total, gauges plain, log₂
+// histograms as cumulative le buckets with the 2^i−1 ceilings, sorted
+// family order, and the # EOF terminator.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frontier.states").Add(704)
+	r.Counter("cache.hits").Add(3)
+	r.Gauge("jobs.running").Set(2)
+	h := r.Histogram("shell.new")
+	h.Observe(0) // bucket 0: {0}
+	h.Observe(1) // bucket 1: le 1
+	h.Observe(1)
+	h.Observe(5) // bucket 3: le 7
+
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE cache_hits counter
+cache_hits_total 3
+# TYPE frontier_states counter
+frontier_states_total 704
+# TYPE jobs_running gauge
+jobs_running 2
+# TYPE shell_new histogram
+shell_new_bucket{le="0"} 1
+shell_new_bucket{le="1"} 3
+shell_new_bucket{le="7"} 4
+shell_new_bucket{le="+Inf"} 4
+shell_new_sum 7
+shell_new_count 4
+# EOF
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteOpenMetricsNilRegistry(t *testing.T) {
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "# EOF\n" {
+		t.Errorf("nil registry exposition = %q, want the bare terminator", b.String())
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"frontier.states": "frontier_states",
+		"sweep.radii":     "sweep_radii",
+		"9lives":          "_lives",
+		"ok_name:x":       "ok_name:x",
+		"":                "_",
+	}
+	for in, want := range cases {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestServeDebugMetrics pins the debug server's /metrics route: a scrape
+// returns the observer registry's exposition with the OpenMetrics
+// content type.
+func TestServeDebugMetrics(t *testing.T) {
+	o := New()
+	o.Counter("scrape.me").Add(7)
+	addr, shutdown, err := o.ServeDebug("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != OpenMetricsContentType {
+		t.Errorf("content type %q, want %q", ct, OpenMetricsContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	if !strings.Contains(s, "scrape_me_total 7\n") {
+		t.Errorf("scrape missing the counter:\n%s", s)
+	}
+	if !strings.HasSuffix(s, "# EOF\n") {
+		t.Errorf("scrape does not end with # EOF:\n%s", s)
+	}
+}

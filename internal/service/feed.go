@@ -1,0 +1,113 @@
+// The per-job event feed: a bounded ring of sequence-numbered events
+// published from the job's observer hook and consumed by any number of
+// subscribers (the SSE handler). The ring keeps the most recent events,
+// so a late subscriber replays what is still buffered and then follows
+// live; sequence numbers make the gap observable instead of silent.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+)
+
+// Event is one published observability event.
+type Event struct {
+	// Seq is the 0-based publish index within the job, strictly
+	// increasing. Subscribers resume with it.
+	Seq int64 `json:"seq"`
+	// Name is the obs event name (frontier.shell, sweep.radius, ...).
+	Name string `json:"ev"`
+	// Data is the event payload, already marshaled (so subscribers never
+	// race the emitting job over a mutable payload).
+	Data json.RawMessage `json:"data"`
+}
+
+// Feed is the ring. The zero value is not usable; newFeed constructs.
+type Feed struct {
+	mu     sync.Mutex
+	buf    []Event // ring storage, len(buf) <= cap
+	start  int     // index of the oldest buffered event
+	n      int     // buffered count
+	next   int64   // seq of the next published event
+	closed bool
+	wake   chan struct{} // closed and replaced on every publish/close
+}
+
+func newFeed(capacity int) *Feed {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Feed{buf: make([]Event, capacity), wake: make(chan struct{})}
+}
+
+// Publish appends one event, evicting the oldest when full. Marshal
+// failures drop the payload but keep the event (name and seq still
+// stream). No-op after Close.
+func (f *Feed) Publish(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte("null")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	ev := Event{Seq: f.next, Name: name, Data: data}
+	f.next++
+	if f.n < len(f.buf) {
+		f.buf[(f.start+f.n)%len(f.buf)] = ev
+		f.n++
+	} else {
+		f.buf[f.start] = ev
+		f.start = (f.start + 1) % len(f.buf)
+	}
+	close(f.wake)
+	f.wake = make(chan struct{})
+}
+
+// Close marks the feed complete (the job finished) and wakes every
+// waiter. Buffered events stay replayable.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	close(f.wake)
+}
+
+// snapshot returns the buffered events with seq >= from, whether the
+// feed is closed, and the current wake channel (valid until the next
+// publish).
+func (f *Feed) snapshot(from int64) (evs []Event, closed bool, wake <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := 0; i < f.n; i++ {
+		ev := f.buf[(f.start+i)%len(f.buf)]
+		if ev.Seq >= from {
+			evs = append(evs, ev)
+		}
+	}
+	return evs, f.closed, f.wake
+}
+
+// Wait returns the buffered events with seq >= from, blocking until at
+// least one exists, the feed closes, or ctx is done. closed reports
+// whether the feed has completed (no further events will ever arrive);
+// a ctx cancellation returns (nil, false).
+func (f *Feed) Wait(ctx context.Context, from int64) (evs []Event, closed bool) {
+	for {
+		evs, closed, wake := f.snapshot(from)
+		if len(evs) > 0 || closed {
+			return evs, closed
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package service
+
+// End-to-end tests of the HTTP surface over a real manager: submit /
+// poll / result, the result document's byte-identity with a direct
+// Execute, the SSE stream (progress events and the terminal done
+// event), and the OpenMetrics scrape.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"weakstab/internal/algorithms/tokenring"
+	"weakstab/internal/obs"
+	"weakstab/internal/protocol"
+	"weakstab/internal/scheduler"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := NewManager(cfg)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		m.Shutdown(context.Background())
+	})
+	return m, srv
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body string) JobStatus {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d: %s", resp.StatusCode, b)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("submit response %s: %v", b, err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	j, err := m.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", id)
+	}
+}
+
+func get(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, resp.Header
+}
+
+// TestHTTPSubmitResultMatchesExecute pins the wire contract: the result
+// document served over HTTP is byte-identical to a direct Execute of the
+// same request — the same bytes stabcheck -json prints.
+func TestHTTPSubmitResultMatchesExecute(t *testing.T) {
+	mgr, srv := newTestServer(t, Config{Deps: Deps{Obs: obs.New()}, FeedDepth: 16})
+	st := postJob(t, srv, `{"alg":"tokenring","n":5}`)
+	waitDone(t, mgr, st.ID)
+
+	code, body, hdr := get(t, srv.URL+"/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("GET result = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("result content type %q", ct)
+	}
+
+	want, err := Execute(context.Background(), Request{Alg: "tokenring", N: 5}, Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, buf.Bytes()) {
+		t.Errorf("HTTP result differs from direct Execute:\nhttp:\n%s\nexecute:\n%s", body, buf.Bytes())
+	}
+
+	// Status reflects the terminal state and the published feed events.
+	code, body, _ = get(t, srv.URL+"/jobs/"+st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET status = %d", code)
+	}
+	var got JobStatus
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Source != "run" {
+		t.Errorf("terminal status = %q/%q, want done/run", got.State, got.Source)
+	}
+	if got.Events == 0 {
+		t.Error("job published no feed events")
+	}
+}
+
+// TestHTTPResultConflictAndGone pins the result endpoint's codes: 409
+// before terminal, 410 after cancel (via DELETE).
+func TestHTTPResultConflictAndGone(t *testing.T) {
+	ring5, err := tokenring.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGateAlg(ring5)
+	mgr, srv := newTestServer(t, Config{
+		Deps: Deps{Build: func(Request) (protocol.Algorithm, scheduler.Policy, error) {
+			return g, scheduler.CentralPolicy{}, nil
+		}},
+		Workers: 1, FeedDepth: 16,
+	})
+	st := postJob(t, srv, `{"alg":"tokenring","n":5}`)
+	<-g.entered
+	code, body, _ := get(t, srv.URL+"/jobs/"+st.ID+"/result")
+	if code != http.StatusConflict {
+		t.Fatalf("result of a running job = %d: %s", code, body)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	g.gate.Store(false)
+	close(g.release)
+	waitDone(t, mgr, st.ID)
+
+	code, body, _ = get(t, srv.URL+"/jobs/"+st.ID+"/result")
+	if code != http.StatusGone {
+		t.Fatalf("result of a canceled job = %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), "canceled") {
+		t.Errorf("canceled result body %s does not say canceled", body)
+	}
+}
+
+// TestHTTPEventsStream pins the SSE surface on a finished sweep job: the
+// stream replays the ring (sweep.radius events with ids) and terminates
+// with the done event carrying the job status.
+func TestHTTPEventsStream(t *testing.T) {
+	mgr, srv := newTestServer(t, Config{Deps: Deps{Obs: obs.New()}, FeedDepth: 64})
+	st := postJob(t, srv, `{"alg":"tokenring","n":6,"kmax":3}`)
+	waitDone(t, mgr, st.ID)
+
+	code, body, hdr := get(t, srv.URL+"/jobs/"+st.ID+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("GET events = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("events content type %q", ct)
+	}
+	s := string(body)
+	if !strings.Contains(s, "event: sweep.radius\n") {
+		t.Errorf("stream has no sweep.radius event:\n%s", s)
+	}
+	if !strings.Contains(s, "id: 0\n") {
+		t.Errorf("stream events carry no ids:\n%s", s)
+	}
+	if !strings.Contains(s, "event: done\n") || !strings.HasSuffix(s, "\n\n") {
+		t.Errorf("stream does not terminate with the done event:\n%s", s)
+	}
+	done := s[strings.LastIndex(s, "event: done"):]
+	if !strings.Contains(done, `"state":"done"`) {
+		t.Errorf("done event does not carry the terminal status:\n%s", done)
+	}
+
+	// Resume: from seq 1 the replay skips seq 0.
+	code, body2, _ := get(t, srv.URL+"/jobs/"+st.ID+"/events?from=1")
+	if code != http.StatusOK {
+		t.Fatalf("GET events?from=1 = %d", code)
+	}
+	if strings.Contains(string(body2), "id: 0\n") {
+		t.Errorf("resumed stream replayed seq 0:\n%s", body2)
+	}
+	if !strings.Contains(string(body2), "event: done\n") {
+		t.Errorf("resumed stream missing the done event:\n%s", body2)
+	}
+}
+
+// TestHTTPMetricsScrape pins the scrape endpoint: OpenMetrics content
+// type, the service counters, and the # EOF terminator.
+func TestHTTPMetricsScrape(t *testing.T) {
+	mgr, srv := newTestServer(t, Config{Deps: Deps{Obs: obs.New()}, FeedDepth: 16})
+	// A sweep job: its ball walk runs the frontier engine, whose counters
+	// must aggregate into the shared scrape registry.
+	st := postJob(t, srv, `{"alg":"tokenring","n":6,"kmax":2}`)
+	waitDone(t, mgr, st.ID)
+
+	code, body, hdr := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != obs.OpenMetricsContentType {
+		t.Errorf("metrics content type %q, want %q", ct, obs.OpenMetricsContentType)
+	}
+	s := string(body)
+	for _, want := range []string{
+		"service_jobs_submitted_total 1\n",
+		"service_jobs_completed_total 1\n",
+		"# TYPE frontier_states counter\n",
+		"# EOF\n",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scrape missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.HasSuffix(s, "# EOF\n") {
+		t.Error("scrape does not end with the # EOF terminator")
+	}
+}
+
+// TestHTTPErrors pins 404s and unknown-field rejection.
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	code, _, _ := get(t, srv.URL+"/jobs/job-99")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", code)
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"alg":"tokenring","n":5,"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown-field submit = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,476 @@
+// The job manager: bounded admission, a fixed worker pool, in-flight
+// singleflight dedupe, an in-memory LRU of finished result documents
+// over the disk cache, per-job cancellation and deadlines, and graceful
+// drain. Every mutation of manager state happens under one mutex; the
+// jobs themselves run on the pool with nothing shared but the (atomic)
+// metrics registry and the content-addressed disk cache.
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"weakstab/internal/obs"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull rejects a submission when the admission queue is at
+	// capacity — backpressure, not an outage; retry later.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining rejects submissions after Shutdown began.
+	ErrDraining = errors.New("service: manager is draining")
+	// ErrNotFound reports an unknown job id.
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: Queued → Running → one of the three terminal states.
+// An LRU-answered job is born Done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// Deps are the shared execution dependencies. Deps.Obs also receives
+	// the manager's own service.* metrics (nil falls back to the process
+	// default observer).
+	Deps Deps
+	// Workers is the job worker-pool size (default 1). Distinct from
+	// Request.Workers, the per-job exploration parallelism.
+	Workers int
+	// QueueDepth bounds the admission queue (default 16); submissions
+	// beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// LRUSize bounds the in-memory result LRU (default 64 documents).
+	LRUSize int
+	// FeedDepth is the per-job event ring capacity; 0 disables per-job
+	// feeds entirely (the CLI path: events flow to the process observer
+	// only, exactly as if no manager were present).
+	FeedDepth int
+	// DefaultTimeout bounds each job's wall clock from submission when
+	// the request carries no TimeoutMS (0 = unbounded).
+	DefaultTimeout time.Duration
+}
+
+// Job is one submitted unit of work. Fields are owned by the manager;
+// read them through the accessor methods, which lock.
+type Job struct {
+	// ID is the manager-scoped job identifier ("job-1", "job-2", ...).
+	ID string
+	// Key is the canonical dedupe identity (jobKey).
+	Key string
+	// Request is the normalized request identity.
+	Request Request
+
+	m      *Manager
+	state  State
+	source string // "run" for an executed job, "lru" for a warm answer
+	resp   *Response
+	err    error
+	feed   *Feed
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Feed returns the job's event feed (nil when feeds are disabled or the
+// job was answered from the LRU).
+func (j *Job) Feed() *Feed { return j.feed }
+
+// Status returns the job's current state, its answer source ("run" or
+// "lru"), and — in a terminal state — its result or error.
+func (j *Job) Status() (state State, source string, resp *Response, err error) {
+	j.m.mu.Lock()
+	defer j.m.mu.Unlock()
+	return j.state, j.source, j.resp, j.err
+}
+
+// Result blocks until the job is terminal and returns its outcome.
+func (j *Job) Result() (*Response, error) {
+	<-j.done
+	j.m.mu.Lock()
+	defer j.m.mu.Unlock()
+	return j.resp, j.err
+}
+
+// Manager runs jobs.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // every job ever submitted, by ID
+	order    []string        // submission order, for listings
+	inflight map[string]*Job // queued/running jobs by Key (singleflight)
+	lru      *resultLRU
+	seq      int64
+	draining bool
+
+	queue    chan *Job
+	wg       sync.WaitGroup
+	rootCtx  context.Context
+	rootStop context.CancelFunc
+}
+
+// NewManager starts a manager with cfg's worker pool running.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.LRUSize <= 0 {
+		cfg.LRUSize = 64
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		lru:      newResultLRU(cfg.LRUSize),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		rootCtx:  ctx,
+		rootStop: stop,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// counter resolves a service metric handle on the shared registry.
+func (m *Manager) counter(name string) *obs.Counter {
+	return obs.Or(m.cfg.Deps.Obs).Counter(name)
+}
+
+func (m *Manager) gauge(name string) *obs.Gauge {
+	return obs.Or(m.cfg.Deps.Obs).Gauge(name)
+}
+
+// Submit admits a request. The answer path, in order: the result LRU (a
+// Done job carrying the cached document, deduped=true), the in-flight
+// index (the identical queued/running job itself, deduped=true), or a
+// fresh job on the admission queue. Build failures and invalid requests
+// reject immediately; a full queue rejects with ErrQueueFull.
+func (m *Manager) Submit(req Request) (job *Job, deduped bool, err error) {
+	id := req.identity()
+	if err := id.validate(); err != nil {
+		return nil, false, err
+	}
+	a, pol, err := m.cfg.Deps.build()(id)
+	if err != nil {
+		return nil, false, err
+	}
+	key := jobKey(id, a, pol)
+	m.counter("service.jobs.submitted").Add(1)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	if resp, ok := m.lru.get(key); ok {
+		m.counter("service.lru.hit").Add(1)
+		j := m.newJobLocked(key, id)
+		j.state = StateDone
+		j.source = "lru"
+		j.resp = resp
+		close(j.done)
+		return j, true, nil
+	}
+	m.counter("service.lru.miss").Add(1)
+	if j, ok := m.inflight[key]; ok {
+		m.counter("service.jobs.deduped").Add(1)
+		return j, true, nil
+	}
+
+	j := m.newJobLocked(key, id)
+	j.source = "run"
+	timeout := m.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		// The deadline clock starts at admission, so queue wait counts
+		// against it — a deadline is a promise about the answer, not
+		// about the work.
+		j.ctx, j.cancel = context.WithTimeout(m.rootCtx, timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(m.rootCtx)
+	}
+	if m.cfg.FeedDepth > 0 {
+		j.feed = newFeed(m.cfg.FeedDepth)
+	}
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, j.ID)
+		m.order = m.order[:len(m.order)-1]
+		j.cancel()
+		return nil, false, ErrQueueFull
+	}
+	m.inflight[key] = j
+	m.gauge("service.queue.depth").Set(int64(len(m.queue)))
+	return j, false, nil
+}
+
+// newJobLocked allocates and registers a job. Caller holds m.mu.
+func (m *Manager) newJobLocked(key string, id Request) *Job {
+	m.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", m.seq),
+		Key:     key,
+		Request: id,
+		m:       m,
+		state:   StateQueued,
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	return j
+}
+
+// Job returns a job by ID.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Jobs returns every job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a job. A queued job finishes canceled immediately
+// (its worker slot was never taken); a running job's context propagates
+// into the exploration, which stops at its next cooperative boundary
+// and releases the slot. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Job(id)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	queued := j.state == StateQueued
+	m.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
+	if queued {
+		// The worker will skip it on dequeue; report it terminal now.
+		m.finish(j, nil, context.Canceled)
+	}
+	return nil
+}
+
+// Do submits and waits: the synchronous surface stabcheck uses. A ctx
+// cancellation cancels the job and returns its (canceled) outcome.
+func (m *Manager) Do(ctx context.Context, req Request) (*Response, error) {
+	j, _, err := m.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		m.Cancel(j.ID)
+		<-j.done
+	}
+	return j.Result()
+}
+
+// Shutdown drains gracefully: no new submissions, queued and running
+// jobs finish, workers exit. If ctx expires first, every outstanding
+// job is canceled (cooperatively — bounded by a shell/radius/block) and
+// Shutdown waits for the pool to come home before returning ctx's error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		m.rootStop() // cancels every job context
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// worker is one pool slot: take a job, run it, release.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.gauge("service.queue.depth").Set(int64(len(m.queue)))
+		m.mu.Lock()
+		skip := j.state != StateQueued // canceled while queued
+		if !skip {
+			j.state = StateRunning
+		}
+		m.mu.Unlock()
+		if skip {
+			continue
+		}
+		m.gauge("service.jobs.running").Set(m.running())
+		resp, err := Execute(j.ctx, j.Request, m.jobDeps(j))
+		m.finish(j, resp, err)
+		m.gauge("service.jobs.running").Set(m.running())
+	}
+}
+
+// running counts running jobs (for the gauge).
+func (m *Manager) running() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, j := range m.jobs {
+		if j.state == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// jobDeps derives the job's execution dependencies: with feeds enabled,
+// a per-job observer that shares the process metrics registry (so
+// /metrics aggregates across jobs) but owns its hooks — one feeding the
+// job's subscriber ring, one forwarding every event to the process
+// observer's sink and hooks (the second obs sink of the job).
+func (m *Manager) jobDeps(j *Job) Deps {
+	deps := m.cfg.Deps
+	if j.feed == nil {
+		return deps
+	}
+	parent := obs.Or(deps.Obs)
+	o := obs.NewWithRegistry(parent.Registry())
+	o.AddHook(j.feed.Publish)
+	if parent.On() {
+		o.AddHook(parent.Emit)
+	}
+	deps.Obs = o
+	return deps
+}
+
+// finish moves a job to its terminal state exactly once: classify the
+// error (a wrapped context cancellation or deadline is "canceled", not
+// "failed"), admit successful documents to the LRU, clear the in-flight
+// index, close the feed and wake waiters.
+func (m *Manager) finish(j *Job, resp *Response, err error) {
+	m.mu.Lock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		m.mu.Unlock()
+		return
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.resp = resp
+		m.lru.add(j.Key, resp)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.resp = resp // may carry a partial document (hierarchy failure)
+		j.err = err
+	}
+	if m.inflight[j.Key] == j {
+		delete(m.inflight, j.Key)
+	}
+	state := j.state
+	m.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		m.counter("service.jobs.completed").Add(1)
+	case StateCanceled:
+		m.counter("service.jobs.canceled").Add(1)
+	default:
+		m.counter("service.jobs.failed").Add(1)
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	if j.feed != nil {
+		j.feed.Close()
+	}
+	close(j.done)
+}
+
+// resultLRU is a key → *Response LRU over finished documents. Documents
+// are immutable once published; hits hand out the shared pointer.
+type resultLRU struct {
+	cap   int
+	order *list.List               // front = most recent
+	byKey map[string]*list.Element // value: lruEntry
+}
+
+type lruEntry struct {
+	key  string
+	resp *Response
+}
+
+func newResultLRU(capacity int) *resultLRU {
+	return &resultLRU{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (l *resultLRU) get(key string) (*Response, bool) {
+	el, ok := l.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(lruEntry).resp, true
+}
+
+func (l *resultLRU) add(key string, resp *Response) {
+	if el, ok := l.byKey[key]; ok {
+		el.Value = lruEntry{key: key, resp: resp}
+		l.order.MoveToFront(el)
+		return
+	}
+	l.byKey[key] = l.order.PushFront(lruEntry{key: key, resp: resp})
+	for l.order.Len() > l.cap {
+		el := l.order.Back()
+		l.order.Remove(el)
+		delete(l.byKey, el.Value.(lruEntry).key)
+	}
+}

@@ -1,0 +1,191 @@
+// The result document: one JSON schema shared verbatim by stabserve's
+// GET /jobs/{id}/result and stabcheck -json, so the two surfaces are
+// byte-diffable. The document carries no timings, no cache provenance
+// and no execution tuning — everything in it is a pure function of the
+// request identity, which is what makes cold and warm runs, CLI and
+// server, render identical bytes.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"weakstab/internal/checker"
+	"weakstab/internal/core"
+	"weakstab/internal/markov"
+)
+
+// Float is a float64 whose JSON encoding survives the non-finite values
+// a report can legitimately carry (a convergence radius of +Inf when
+// possible convergence fails): ±Inf and NaN marshal as strings, finite
+// values as plain numbers. Unmarshal accepts both forms.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("service: invalid float %q: %w", s, err)
+		}
+		*f = Float(v)
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// ReportJSON is the wire form of core.Report plus its derived verdicts.
+type ReportJSON struct {
+	Algorithm    string `json:"algorithm"`
+	Policy       string `json:"policy"`
+	States       int    `json:"states"`
+	TotalConfigs int64  `json:"total_configs"`
+
+	Closure                  bool `json:"closure"`
+	PossibleConvergence      bool `json:"possible_convergence"`
+	CertainConvergence       bool `json:"certain_convergence"`
+	ProbabilisticConvergence bool `json:"probabilistic_convergence"`
+	FairLassoFound           bool `json:"fair_lasso_found"`
+
+	ConvergenceRadius Float `json:"convergence_radius"`
+
+	SelfStabilizing                  bool   `json:"self_stabilizing"`
+	ProbabilisticallySelfStabilizing bool   `json:"probabilistically_self_stabilizing"`
+	WeakStabilizing                  bool   `json:"weak_stabilizing"`
+	Classification                   string `json:"classification"`
+
+	ExpectedSteps *ExpectedStepsJSON `json:"expected_steps,omitempty"`
+}
+
+// ExpectedStepsJSON is the wire form of markov.Summary.
+type ExpectedStepsJSON struct {
+	States    int     `json:"states"`
+	Target    int     `json:"target"`
+	Divergent int     `json:"divergent"`
+	Mean      float64 `json:"mean"`
+	Max       float64 `json:"max"`
+}
+
+// KFaultJSON is the wire form of checker.KFaultVerdict.
+type KFaultJSON struct {
+	K              int   `json:"k"`
+	Configs        int   `json:"configs"`
+	Possible       bool  `json:"possible"`
+	Certain        bool  `json:"certain"`
+	Counterexample []int `json:"counterexample,omitempty"`
+}
+
+// BallJSON summarizes the explored fault-ball closure subspace.
+type BallJSON struct {
+	ClosureStates int   `json:"closure_states"`
+	TotalConfigs  int64 `json:"total_configs"`
+}
+
+// SweepJSON is the wire form of checker.SweepResult.
+type SweepJSON struct {
+	Algorithm string `json:"algorithm"`
+	Policy    string `json:"policy"`
+	// KMax is the requested walk ceiling; with stop-at-break the verdicts
+	// may end earlier.
+	KMax             int          `json:"kmax"`
+	Verdicts         []KFaultJSON `json:"verdicts"`
+	BreaksCertainAt  int          `json:"breaks_certain_at"`
+	BreaksPossibleAt int          `json:"breaks_possible_at"`
+}
+
+// Response is the complete result document of one job. Report mode fills
+// Report (plus KFaults/Ball when a fault radius was requested); sweep
+// mode fills Sweep (plus Ball when the legitimate set is non-empty).
+type Response struct {
+	Request Request      `json:"request"`
+	Report  *ReportJSON  `json:"report,omitempty"`
+	KFaults []KFaultJSON `json:"kfaults,omitempty"`
+	Sweep   *SweepJSON   `json:"sweep,omitempty"`
+	Ball    *BallJSON    `json:"ball,omitempty"`
+
+	// CoreReport is the in-process report behind Report, for callers on
+	// the same side of the wire (stabcheck's text rendering). Never
+	// marshaled.
+	CoreReport *core.Report `json:"-"`
+}
+
+// WriteJSON renders the document — indented, trailing newline — the one
+// serialization both stabserve's result endpoint and stabcheck -json
+// emit, so their outputs diff clean.
+func (r *Response) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: marshaling response: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// reportJSON lowers a core.Report to the wire form.
+func reportJSON(rep *core.Report) *ReportJSON {
+	out := &ReportJSON{
+		Algorithm:                rep.Algorithm,
+		Policy:                   rep.Policy,
+		States:                   rep.States,
+		TotalConfigs:             rep.TotalConfigs,
+		Closure:                  rep.Closure,
+		PossibleConvergence:      rep.PossibleConvergence,
+		CertainConvergence:       rep.CertainConvergence,
+		ProbabilisticConvergence: rep.ProbabilisticConvergence,
+		FairLassoFound:           rep.FairLassoFound,
+		ConvergenceRadius:        Float(rep.ConvergenceRadius),
+
+		SelfStabilizing:                  rep.SelfStabilizing(),
+		ProbabilisticallySelfStabilizing: rep.ProbabilisticallySelfStabilizing(),
+		WeakStabilizing:                  rep.WeakStabilizing(),
+		Classification:                   rep.Strongest().String(),
+	}
+	if rep.ProbabilisticConvergence && rep.ExpectedSteps.States > 0 {
+		out.ExpectedSteps = expectedStepsJSON(rep.ExpectedSteps)
+	}
+	return out
+}
+
+func expectedStepsJSON(s markov.Summary) *ExpectedStepsJSON {
+	return &ExpectedStepsJSON{States: s.States, Target: s.Target,
+		Divergent: s.Divergent, Mean: s.Mean, Max: s.Max}
+}
+
+// kfaultJSON lowers checker verdicts to the wire form.
+func kfaultJSON(vs []checker.KFaultVerdict) []KFaultJSON {
+	out := make([]KFaultJSON, len(vs))
+	for i, v := range vs {
+		out[i] = KFaultJSON{K: v.K, Configs: v.Configs, Possible: v.Possible, Certain: v.Certain}
+		if v.Counterexample != nil {
+			out[i].Counterexample = []int(v.Counterexample)
+		}
+	}
+	return out
+}

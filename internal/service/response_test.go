@@ -1,0 +1,55 @@
+package service
+
+// Wire-format tests for the result document's Float: non-finite values
+// must survive a JSON round trip (a convergence radius of +Inf is a
+// legitimate verdict, not an encoding error).
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestFloatRoundTrip(t *testing.T) {
+	cases := []struct {
+		v    float64
+		wire string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+	}
+	for _, tc := range cases {
+		b, err := json.Marshal(Float(tc.v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", tc.v, err)
+		}
+		if string(b) != tc.wire {
+			t.Errorf("Float(%v) marshals to %s, want %s", tc.v, b, tc.wire)
+		}
+		var back Float
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if float64(back) != tc.v {
+			t.Errorf("round trip of %v gave %v", tc.v, float64(back))
+		}
+	}
+
+	// NaN round-trips to NaN (not comparable by ==).
+	b, err := json.Marshal(Float(math.NaN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"NaN"` {
+		t.Fatalf("NaN marshals to %s", b)
+	}
+	var back Float
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(back)) {
+		t.Fatalf("NaN round-tripped to %v", float64(back))
+	}
+}

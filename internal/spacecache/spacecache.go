@@ -26,6 +26,7 @@
 package spacecache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -348,10 +349,19 @@ func (c *Cache) StoreSubSpace(ss *statespace.SubSpace, seeds []int64) error {
 // returned; the next run simply misses again. The cache never turns a
 // successful analysis into a failure, only a slower one.
 func (c *Cache) BuildSpace(a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options) (sp *statespace.Space, hit bool, err error) {
+	return c.BuildSpaceContext(context.Background(), a, pol, opt)
+}
+
+// BuildSpaceContext is BuildSpace with cooperative cancellation of the
+// exploration (statespace.BuildContext semantics). A cancelled build
+// stores nothing — the cache only ever sees completed spaces, and the
+// atomic temp-and-rename write means no partial entry can appear even on
+// a crash.
+func (c *Cache) BuildSpaceContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options) (sp *statespace.Space, hit bool, err error) {
 	if sp, ok := c.LoadSpace(a, pol, opt); ok {
 		return sp, true, nil
 	}
-	sp, err = statespace.Build(a, pol, opt)
+	sp, err = statespace.BuildContext(ctx, a, pol, opt)
 	if err != nil {
 		return nil, false, err
 	}
@@ -362,10 +372,16 @@ func (c *Cache) BuildSpace(a protocol.Algorithm, pol scheduler.Policy, opt state
 // BuildSubSpace is statespace.BuildFrom behind the cache, with the same
 // contract as BuildSpace.
 func (c *Cache) BuildSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (ss *statespace.SubSpace, hit bool, err error) {
+	return c.BuildSubSpaceContext(context.Background(), a, pol, seeds, opt)
+}
+
+// BuildSubSpaceContext is BuildSubSpace with BuildSpaceContext's
+// cancellation and no-partial-entry contract.
+func (c *Cache) BuildSubSpaceContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt statespace.Options) (ss *statespace.SubSpace, hit bool, err error) {
 	if ss, ok := c.LoadSubSpace(a, pol, seeds, opt); ok {
 		return ss, true, nil
 	}
-	ss, err = statespace.BuildFrom(a, pol, seeds, opt)
+	ss, err = statespace.BuildFromContext(ctx, a, pol, seeds, opt)
 	if err != nil {
 		return nil, false, err
 	}
@@ -377,11 +393,17 @@ func (c *Cache) BuildSubSpace(a protocol.Algorithm, pol scheduler.Policy, seeds 
 // configurations, validated and encoded by the same shared helper
 // statespace.BuildFromConfigs uses.
 func (c *Cache) BuildSubSpaceFromConfigs(a protocol.Algorithm, pol scheduler.Policy, cfgs []protocol.Configuration, opt statespace.Options) (*statespace.SubSpace, bool, error) {
+	return c.BuildSubSpaceFromConfigsContext(context.Background(), a, pol, cfgs, opt)
+}
+
+// BuildSubSpaceFromConfigsContext is BuildSubSpaceFromConfigs with
+// BuildSpaceContext's cancellation and no-partial-entry contract.
+func (c *Cache) BuildSubSpaceFromConfigsContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, cfgs []protocol.Configuration, opt statespace.Options) (*statespace.SubSpace, bool, error) {
 	seeds, err := statespace.EncodeConfigs(a, cfgs)
 	if err != nil {
 		return nil, false, err
 	}
-	return c.BuildSubSpace(a, pol, seeds, opt)
+	return c.BuildSubSpaceContext(ctx, a, pol, seeds, opt)
 }
 
 // atomicWrite streams the system to a temp file in the cache directory and

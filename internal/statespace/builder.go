@@ -18,6 +18,7 @@
 package statespace
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -133,13 +134,19 @@ func (b *Builder) addSeeds(seeds []int64) error {
 
 // explore runs the level-synchronous parallel BFS until the discovered set
 // is closed under successors — the loop of BuildFrom, resuming from
-// whatever was explored before. On error the builder is no longer usable.
-func (b *Builder) explore() error {
+// whatever was explored before. ctx is checked once per BFS shell (between
+// the serial stitch of one level and the parallel expansion of the next),
+// so a cancelled exploration stops at the next shell boundary. On error
+// the builder is no longer usable.
+func (b *Builder) explore(ctx context.Context) error {
 	var (
 		failMu  sync.Mutex
 		failErr error
 	)
 	for lo := b.explored; lo < b.table.Len(); {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("statespace: exploration canceled at shell %d: %w", b.shell, err)
+		}
 		hi := b.table.Len()
 		edgesBefore := int64(len(b.succ))
 		level := b.table.Globals()[lo:hi] // expansion only reads, so no insert moves it
@@ -247,6 +254,13 @@ func (b *Builder) explore() error {
 // seed that was already discovered costs nothing. On error the builder is
 // no longer usable.
 func (b *Builder) Extend(seeds []int64) error {
+	return b.ExtendContext(context.Background(), seeds)
+}
+
+// ExtendContext is Extend with cooperative cancellation: ctx is checked at
+// every BFS shell boundary, so a cancelled extension returns an error
+// wrapping ctx.Err() without finishing the closure.
+func (b *Builder) ExtendContext(ctx context.Context, seeds []int64) error {
 	before := b.table.Len()
 	if err := b.addSeeds(seeds); err != nil {
 		return err
@@ -254,7 +268,7 @@ func (b *Builder) Extend(seeds []int64) error {
 	// Seed admissions count toward the discovered-state total the same
 	// way explored shells do.
 	b.o.Counter("frontier.states").Add(int64(b.table.Len() - before))
-	return b.explore()
+	return b.explore(ctx)
 }
 
 // Seal snapshots the current closure as a canonical SubSpace — local ids

@@ -23,6 +23,7 @@
 package statespace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -179,6 +180,14 @@ type frontierChunk struct {
 // grow their seed set incrementally (the checker's k-fault sweeps) keep a
 // Builder alive and Extend it instead of rebuilding per wave.
 func BuildFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Options) (*SubSpace, error) {
+	return BuildFromContext(context.Background(), a, pol, seeds, opt)
+}
+
+// BuildFromContext is BuildFrom with cooperative cancellation: ctx is
+// checked at every BFS shell boundary, so a cancelled exploration returns
+// an error wrapping ctx.Err() at the next shell without producing a
+// subspace.
+func BuildFromContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Options) (*SubSpace, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("statespace: BuildFrom needs at least one seed")
 	}
@@ -186,7 +195,7 @@ func BuildFrom(a protocol.Algorithm, pol scheduler.Policy, seeds []int64, opt Op
 	if err != nil {
 		return nil, err
 	}
-	if err := b.Extend(seeds); err != nil {
+	if err := b.ExtendContext(ctx, seeds); err != nil {
 		return nil, err
 	}
 	return b.seal(true), nil
@@ -220,11 +229,17 @@ func EncodeConfigs(a protocol.Algorithm, cfgs []protocol.Configuration) ([]int64
 // BuildFromConfigs is BuildFrom with the seed set given as configurations;
 // each is validated against the process state domains before encoding.
 func BuildFromConfigs(a protocol.Algorithm, pol scheduler.Policy, cfgs []protocol.Configuration, opt Options) (*SubSpace, error) {
+	return BuildFromConfigsContext(context.Background(), a, pol, cfgs, opt)
+}
+
+// BuildFromConfigsContext is BuildFromConfigs with cooperative
+// cancellation, with BuildFromContext's semantics.
+func BuildFromConfigsContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, cfgs []protocol.Configuration, opt Options) (*SubSpace, error) {
 	seeds, err := EncodeConfigs(a, cfgs)
 	if err != nil {
 		return nil, err
 	}
-	return BuildFrom(a, pol, seeds, opt)
+	return BuildFromContext(ctx, a, pol, seeds, opt)
 }
 
 // canonicalOrder returns the permutation (new id -> old id) that sorts

@@ -18,6 +18,7 @@
 package statespace
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -183,6 +184,14 @@ type chunk struct {
 // returns the shared transition system. The result is deterministic and
 // independent of Options.Workers.
 func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, error) {
+	return BuildContext(context.Background(), a, pol, opt)
+}
+
+// BuildContext is Build with cooperative cancellation: ctx is checked at
+// chunk granularity, so a cancelled build stops claiming work and returns
+// an error wrapping ctx.Err() in bounded time, producing no space. A
+// successful build is unaffected by ctx.
+func BuildContext(ctx context.Context, a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, error) {
 	// The cap is inclusive: a space of exactly maxStates configurations
 	// builds (NewEncoder rejects only totals strictly beyond it).
 	maxStates := StateCap(opt.MaxStates)
@@ -226,6 +235,14 @@ func Build(a protocol.Algorithm, pol scheduler.Policy, opt Options) (*Space, err
 	var doneStates, doneEdges atomic.Int64
 	const progressEvery = 1 << 20
 	ForRanges(total, workers, chunkSize, func(lo, hi int) bool {
+		if err := ctx.Err(); err != nil {
+			failMu.Lock()
+			if failErr == nil {
+				failErr = fmt.Errorf("statespace: exploration canceled: %w", err)
+			}
+			failMu.Unlock()
+			return false
+		}
 		ex := pool.Get().(*explorer)
 		ck, err := ex.exploreRange(lo, hi, sp.Legit)
 		pool.Put(ex)
