@@ -49,6 +49,14 @@
 //	stabcheck -alg tokenring -n 6 -reachable -from 1,0,2,1,0,3
 //	stabcheck -alg tokenring -n 11 -cache ~/.weakstab-cache  # warm runs skip exploration
 //	stabcheck -alg tokenring -n 6 -json                    # the stabserve result document
+//	stabcheck -alg tokenring -n 8 -mc -trials 50000        # Monte Carlo stabilization times
+//	stabcheck -alg herman -n 9 -policy synchronous -mc -ci 0.5  # sample until the CI is tight
+//
+// -mc replaces the exact Markov hitting-time solve with the vectorized
+// Monte Carlo estimator (internal/mc): walkers sample the explored CSR
+// directly, so the estimate reaches spaces whose linear solve no longer
+// fits, and the output is a pure function of (instance, policy, -seed,
+// -trials, -ci, -mc-steps) — bit-identical across -workers.
 //
 // Every analysis runs through the same job-execution path the stabserve
 // daemon uses (internal/service): the command assembles a service.Request
@@ -73,6 +81,7 @@ import (
 	"weakstab/internal/service"
 	"weakstab/internal/spacecache"
 	"weakstab/internal/statespace"
+	"weakstab/internal/stats"
 )
 
 // errParse marks a flag-parsing failure the FlagSet has already reported
@@ -112,6 +121,10 @@ func run(args []string, out io.Writer) error {
 		cacheDir  = fs.String("cache", "", "on-disk space cache directory: repeated runs load the explored space instead of rebuilding it")
 		mmap      = fs.Bool("mmap", true, "zero-copy mmap-backed cache loads (bit-equal to -mmap=false, which stream-decodes)")
 		jsonOut   = fs.Bool("json", false, "emit the result as JSON — the exact document stabserve's result endpoint returns")
+		mcMode    = fs.Bool("mc", false, "estimate stabilization times by Monte Carlo simulation on the explored space instead of the exact Markov solve (seeded by -seed; bit-identical across -workers)")
+		trials    = fs.Int("trials", 0, "-mc walker count (0 = 10000)")
+		ci        = fs.Float64("ci", 0, "-mc target 95% confidence half-width: stop early once the mean estimate is at least this tight (0 = run every trial)")
+		mcSteps   = fs.Int("mc-steps", 0, "-mc per-walker step budget; walkers that exhaust it count as censored (0 = 1000000)")
 	)
 	var of cli.ObsFlags
 	var pf cli.ProfileFlags
@@ -169,6 +182,20 @@ func run(args []string, out io.Writer) error {
 			req.KMax = &v
 			req.Mode = service.ModeSweep
 		}
+		if *mcMode {
+			switch {
+			case *kfaults >= 0 || *kmax >= 0:
+				return fmt.Errorf("-mc estimates stabilization times by simulation; drop -kfaults/-kmax")
+			case *witness || *lasso:
+				return fmt.Errorf("-mc prints the estimate only; drop -witness/-lasso")
+			}
+			req.Mode = service.ModeMC
+			req.Trials = *trials
+			req.CI = *ci
+			req.MCMaxSteps = *mcSteps
+		} else if *trials != 0 || *ci != 0 || *mcSteps != 0 {
+			return fmt.Errorf("-trials/-ci/-mc-steps tune the Monte Carlo estimator; add -mc")
+		}
 
 		deps := service.Deps{Cache: cache}
 		if !*jsonOut {
@@ -176,6 +203,10 @@ func run(args []string, out io.Writer) error {
 			// system is still open — -witness and -lasso walk it without
 			// a second exploration.
 			deps.Inspect = func(resp *service.Response, ts statespace.TransitionSystem) {
+				if resp.MC != nil {
+					printMC(out, resp)
+					return
+				}
 				printReport(out, resp, ts, *witness, *lasso)
 			}
 		}
@@ -237,6 +268,32 @@ func printReport(out io.Writer, resp *service.Response, ts statespace.Transition
 			fmt.Fprintf(out, "  strongly fair diverging lasso: %d steps from %v; Gouda fair: %v\n",
 				len(l.Records), l.Cycle[0], sp.GoudaFairLasso(l.Cycle))
 		}
+	}
+}
+
+// printMC renders the Monte Carlo stabilization-time estimate. The
+// summary covers the hit walkers only, so it prints with the censoring
+// denominator and the failure split ahead of the distribution — same
+// discipline as stabnetsim's converged-only statistics.
+func printMC(out io.Writer, resp *service.Response) {
+	m, res := resp.MC, resp.MCResult
+	fmt.Fprintf(out, "%s under %s scheduler (%d configurations): monte carlo stabilization-time estimate\n",
+		m.Algorithm, m.Policy, m.States)
+	if m.TotalConfigs > int64(m.States) {
+		fmt.Fprintf(out, "  reachable subspace:   %d of %d configurations; walks stay inside it\n", m.States, m.TotalConfigs)
+	}
+	fmt.Fprintf(out, "  trials:               %d of %d requested (seed %d", m.Trials, m.Requested, m.Seed)
+	if resp.Request.CI > 0 {
+		fmt.Fprintf(out, ", early stop at ±%g", resp.Request.CI)
+	}
+	fmt.Fprintln(out, ")")
+	if m.Divergent+m.Censored > 0 {
+		fmt.Fprintf(out, "  failure rate:         %.1f%% (%d divergent, %d censored at %d steps; statistics below cover the %d hits only)\n",
+			100*m.FailureRate, m.Divergent, m.Censored, m.MaxSteps, m.Hits)
+	}
+	fmt.Fprintf(out, "  stabilization steps:  %s\n", res.Summary.StringOf(m.Trials))
+	if len(res.CDF) > 0 {
+		fmt.Fprintf(out, "  distribution:         %s\n", stats.FormatCDF(res.CDF))
 	}
 }
 

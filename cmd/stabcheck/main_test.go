@@ -72,6 +72,23 @@ func TestGoldenKMaxUnbroken(t *testing.T) {
 	runGolden(t, "kmax2_dijkstra4", "-alg", "dijkstra", "-n", "4", "-k", "4", "-kmax", "2")
 }
 
+func TestGoldenMC(t *testing.T) {
+	runGolden(t, "mc_tokenring6", "-alg", "tokenring", "-n", "6", "-mc", "-trials", "2000")
+}
+
+func TestGoldenMCEarlyStop(t *testing.T) {
+	runGolden(t, "mc_ci_herman7", "-alg", "herman", "-n", "7", "-policy", "synchronous", "-mc", "-ci", "0.5")
+}
+
+// TestGoldenMCWorkerInvariance reruns the -mc golden with adversarial
+// worker counts: the estimate must stay byte-identical — the CLI face of
+// the sampler's determinism contract.
+func TestGoldenMCWorkerInvariance(t *testing.T) {
+	for _, w := range []string{"1", "7"} {
+		runGolden(t, "mc_tokenring6", "-alg", "tokenring", "-n", "6", "-mc", "-trials", "2000", "-workers", w)
+	}
+}
+
 // The -json goldens pin the shared service result schema: these are the
 // exact bytes stabserve's GET /jobs/{id}/result serves for the same
 // request (the CI smoke job diffs the two surfaces).
@@ -87,6 +104,10 @@ func TestGoldenJSONKMax(t *testing.T) {
 	runGolden(t, "json_kmax3_tokenring6", "-alg", "tokenring", "-n", "6", "-kmax", "3", "-json")
 }
 
+func TestGoldenJSONMC(t *testing.T) {
+	runGolden(t, "json_mc_tokenring6", "-alg", "tokenring", "-n", "6", "-mc", "-trials", "2000", "-json")
+}
+
 func TestGoldenCacheWarmRuns(t *testing.T) {
 	// Cold and warm runs through one cache directory must render
 	// byte-identical output, for the report, the ball pipeline and the
@@ -99,6 +120,7 @@ func TestGoldenCacheWarmRuns(t *testing.T) {
 		{"report_tokenring6", []string{"-alg", "tokenring", "-n", "6", "-cache", dir}},
 		{"reachable_kfaults1_tokenring6", []string{"-alg", "tokenring", "-n", "6", "-reachable", "-kfaults", "1", "-cache", dir}},
 		{"kmax3_tokenring6", []string{"-alg", "tokenring", "-n", "6", "-kmax", "3", "-cache", dir}},
+		{"mc_tokenring6", []string{"-alg", "tokenring", "-n", "6", "-mc", "-trials", "2000", "-cache", dir}},
 	} {
 		runGolden(t, tc.name, tc.args...) // cold populates the cache
 		runGolden(t, tc.name, tc.args...) // warm must render identically
@@ -116,6 +138,13 @@ func TestFlagConflicts(t *testing.T) {
 		{[]string{"-kmax", "2", "-witness"}, "drop -witness"},
 		{[]string{"-kmax", "2", "-lasso"}, "drop -witness"},
 		{[]string{"-alg", "nosuch"}, "unknown algorithm"},
+		{[]string{"-mc", "-kfaults", "1"}, "drop -kfaults/-kmax"},
+		{[]string{"-mc", "-kmax", "2"}, "drop -kfaults/-kmax"},
+		{[]string{"-mc", "-witness"}, "drop -witness/-lasso"},
+		{[]string{"-mc", "-lasso"}, "drop -witness/-lasso"},
+		{[]string{"-trials", "5000"}, "add -mc"},
+		{[]string{"-ci", "0.5"}, "add -mc"},
+		{[]string{"-mc", "-trials", "-3"}, "trials must be >= 0"},
 	} {
 		err := run(tc.args, &strings.Builder{})
 		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {

@@ -126,7 +126,15 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 
-		fmt.Fprintf(out, "  %s: %s\n", what, res.Summary)
+		// Summary and CDF cover the converged trials only: print the
+		// censoring denominator in the summary line and the failure rate
+		// ahead of the distribution, so the statistics are never read as
+		// whole-batch.
+		fmt.Fprintf(out, "  %s: %s\n", what, res.Summary.StringOf(*trials))
+		if res.Failures > 0 {
+			fmt.Fprintf(out, "  failure rate: %.1f%% (%d of %d trials did not converge; distribution below covers converged trials only)\n",
+				100*float64(res.Failures)/float64(*trials), res.Failures, *trials)
+		}
 		if len(res.CDF) > 0 {
 			fmt.Fprintf(out, "  distribution: %s\n", stats.FormatCDF(res.CDF))
 		}

@@ -73,6 +73,31 @@ func TestGoldenWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestFailureRateSurfaced pins the censored-batch rendering: when some
+// trials exhaust the round budget, the summary line must carry the
+// converged/attempted denominator and the failure rate must print before
+// the distribution — the statistics describe the converged subset only.
+func TestFailureRateSurfaced(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "herman", "-n", "9", "-trials", "10", "-max-rounds", "1"}, &sb)
+	if err == nil {
+		t.Fatal("a batch with failures must return an error")
+	}
+	out := sb.String()
+	iSummary := strings.Index(out, "convergence rounds: ")
+	iRate := strings.Index(out, "failure rate: ")
+	iDist := strings.Index(out, "distribution: ")
+	if iSummary < 0 || iRate < 0 {
+		t.Fatalf("missing summary or failure-rate line:\n%s", out)
+	}
+	if !strings.Contains(out, "/10)") {
+		t.Fatalf("summary lacks the converged/attempted denominator:\n%s", out)
+	}
+	if iDist >= 0 && iRate > iDist {
+		t.Fatalf("failure rate printed after the distribution:\n%s", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-alg", "nope"},

@@ -1,6 +1,9 @@
 package markov
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // HittingTimeCDF returns the distribution of the first hitting time T of
 // the target set starting from state `from`: out[t] = P(T <= t) for
@@ -59,9 +62,27 @@ func (c *Chain) HittingTimeCDF(target []bool, from, maxSteps int) ([]float64, er
 	return out, nil
 }
 
-// CDFQuantile returns the smallest t with cdf[t] >= q, or -1 if the CDF
-// never reaches q within its horizon.
+// CDFQuantile returns, for q > 0, the smallest t with cdf[t] >= q — the
+// generalized inverse of the hitting-time distribution. For q <= 0 the
+// literal inverse is vacuous (every CDF value is >= 0, so t=0 would
+// always win regardless of the distribution); instead the quantile of
+// order zero is defined as the infimum of the support: the smallest t
+// with cdf[t] > 0, i.e. the first step by which hitting is possible at
+// all. Returns -1 when the requested level is never reached within the
+// horizon (including a NaN q, which no comparison satisfies, and a q<=0
+// against an identically-zero CDF).
 func CDFQuantile(cdf []float64, q float64) int {
+	if math.IsNaN(q) {
+		return -1
+	}
+	if q <= 0 {
+		for t, p := range cdf {
+			if p > 0 {
+				return t
+			}
+		}
+		return -1
+	}
 	for t, p := range cdf {
 		if p >= q {
 			return t

@@ -94,8 +94,23 @@ func TestCDFQuantile(t *testing.T) {
 	if got := CDFQuantile(cdf, 0.999); got != -1 {
 		t.Fatalf("unreachable quantile = %d, want -1", got)
 	}
-	if got := CDFQuantile(cdf, 0); got != 0 {
-		t.Fatalf("zero quantile = %d, want 0", got)
+	// q=0 is the infimum of the support, not the vacuous t=0: the first
+	// step with positive hitting probability.
+	if got := CDFQuantile(cdf, 0); got != 1 {
+		t.Fatalf("zero quantile = %d, want 1 (first positive mass)", got)
+	}
+	if got := CDFQuantile(cdf, -0.5); got != 1 {
+		t.Fatalf("negative quantile = %d, want 1", got)
+	}
+	if got := CDFQuantile([]float64{0, 0, 0}, 0); got != -1 {
+		t.Fatalf("zero quantile of zero CDF = %d, want -1", got)
+	}
+	if got := CDFQuantile(cdf, math.NaN()); got != -1 {
+		t.Fatalf("NaN quantile = %d, want -1", got)
+	}
+	// A CDF with immediate mass (start inside the target) still yields 0.
+	if got := CDFQuantile([]float64{1, 1}, 0); got != 0 {
+		t.Fatalf("zero quantile of immediate-hit CDF = %d, want 0", got)
 	}
 }
 

@@ -1,0 +1,524 @@
+// Package mc is the vectorized Monte Carlo hitting-time engine for the
+// regime where the exact Markov solve no longer fits: it estimates the
+// stabilization-time distribution of the randomized scheduler's chain by
+// walking the probabilistic transition relation directly on the explored
+// CSR — a full statespace.Space, a frontier SubSpace, or a zero-copy
+// mmap-backed cache load; warm sampling never decodes a transition.
+//
+// The design is throughput- and reproducibility-first:
+//
+//   - Per-row inverse-CDF sampling tables are precomputed once per space
+//     (one cumulative-probability array aliasing the CSR layout), so a
+//     walker step is a hash, a row lookup and a short search — no
+//     allocation, no decoding, no branching on algorithm structure.
+//   - Walkers run in flat batches sharded across a worker pool. Every
+//     walker draws from a counter-based stream keyed by
+//     sim.TrialSeed(seed, trial) (à la netsim/rng.go), so each
+//     trajectory is a pure function of (space, target, seed, trial) and
+//     every output of the estimator is bit-identical across worker
+//     counts — the same determinism contract the rest of the repo pins.
+//   - Batches merge in batch (= trial) order behind the pool, which is
+//     what makes optional early stopping (at a target 95% CI half-width)
+//     deterministic too: the stopping decision only ever reads a
+//     contiguous prefix of batches, so the scheduling of the workers
+//     that computed them cannot change where the run stops.
+//
+// Cross-validation against the exact engine (markov.HittingTimes /
+// HittingTimeCDF) on instances where both run is pinned by the property
+// suite in crossval_test.go.
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"weakstab/internal/obs"
+	"weakstab/internal/statespace"
+	"weakstab/internal/stats"
+)
+
+// Defaults of the zero-valued Options fields.
+const (
+	// DefaultTrials is the walker count when Options.Trials is 0.
+	DefaultTrials = 10_000
+	// DefaultMaxSteps is the per-walker step budget when Options.MaxSteps
+	// is 0. A walker that exhausts it is censored (T > MaxSteps), never
+	// silently dropped.
+	DefaultMaxSteps = 1_000_000
+	// DefaultBatch is the walkers-per-batch granularity when
+	// Options.Batch is 0: the unit of work distribution, cancellation and
+	// early stopping. It never affects results — only how often the
+	// stopping rule gets to look.
+	DefaultBatch = 1024
+)
+
+// Options tunes one estimation run. The zero value is ready to use.
+type Options struct {
+	// Trials is the number of walkers (0 = DefaultTrials). Trial i draws
+	// from its own stream keyed by sim.TrialSeed(Seed, i), so any single
+	// trial replays in isolation and results never depend on batch order.
+	Trials int
+	// MaxSteps bounds each walker (0 = DefaultMaxSteps); walkers that
+	// exhaust it count as Censored.
+	MaxSteps int
+	// Seed is the master seed every walker derives its stream from.
+	Seed int64
+	// Workers sets the walking pool size (0 = the space's exploration
+	// pool, or NumCPU). Results are bit-identical for every worker count.
+	Workers int
+	// Batch is the walkers-per-batch work granularity (0 = DefaultBatch).
+	// An execution detail: it never changes any walker's trajectory.
+	Batch int
+	// From, when non-nil, starts every walker at the given state index.
+	// When nil, each walker starts at a uniformly random non-target state
+	// — the start distribution whose expected hitting time equals the
+	// mean of markov.HittingTimes over the non-target states.
+	From *int
+	// TargetCI, when positive, stops the run early at the first batch
+	// boundary where the normal-theory 95% confidence half-width of the
+	// mean is at or below it (checked over the merged batch prefix, so
+	// the stop point is deterministic). The walkers of later batches do
+	// not contribute.
+	TargetCI float64
+	// Obs receives mc.batch events and mc.* counters (nil falls back to
+	// obs.Default(); both nil disables instrumentation). Results are
+	// bit-identical with observability on or off.
+	Obs *obs.Observer
+}
+
+// Result is the estimate of one run. Every field is a pure function of
+// (space, target, options minus Workers/Batch/Obs).
+type Result struct {
+	// Requested is the configured walker count; Trials is how many
+	// contributed after early stopping (== Requested without TargetCI).
+	Requested int
+	Trials    int
+	// Hits walkers reached the target; Divergent walkers reached an
+	// absorbing non-target state (T = +Inf, proved); Censored walkers
+	// exhausted MaxSteps (T > MaxSteps, undecided).
+	Hits      int
+	Divergent int
+	Censored  int
+	// MaxSteps is the resolved per-walker budget the censoring is
+	// relative to.
+	MaxSteps int
+	// Steps holds the hitting times of the Hits walkers, in trial order.
+	Steps []float64
+	// Summary and CDF describe Steps — the hit walkers only; Divergent
+	// and Censored walkers are excluded and reported by count. Callers
+	// rendering them must surface that censoring.
+	Summary stats.Summary
+	CDF     []stats.CDFPoint
+	// WalkerSteps is the total number of transition steps the
+	// contributing walkers executed.
+	WalkerSteps int64
+}
+
+// CIHalfWidth is the normal-theory 95% confidence half-width of the mean
+// hitting time over the hit walkers.
+func (r *Result) CIHalfWidth() float64 { return r.Summary.CI95() }
+
+// FailureRate is the fraction of contributing walkers that did not hit
+// the target (divergent + censored).
+func (r *Result) FailureRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Divergent+r.Censored) / float64(r.Trials)
+}
+
+// ECDF evaluates the empirical distribution of the hitting time at t:
+// the fraction of contributing walkers whose hitting time is <= t, with
+// divergent and censored walkers counting as above every finite t (the
+// estimand of markov.HittingTimeCDF). Steps is in trial order, not
+// sorted, so this is a linear scan — fine for validation, not for bulk
+// quantile extraction (use CDF/Summary for that).
+func (r *Result) ECDF(t float64) float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range r.Steps {
+		if v <= t {
+			n++
+		}
+	}
+	return float64(n) / float64(r.Trials)
+}
+
+// System is the slice of the transition-system surface the estimator
+// walks: the explored CSR and its pool size. Every
+// statespace.TransitionSystem (Space, SubSpace, mapped or heap-decoded)
+// satisfies it; tests satisfy it with hand-built chains.
+type System interface {
+	// NumStates returns the number of states of the system.
+	NumStates() int
+	// PoolWorkers returns the worker-pool size analyses over this system
+	// should default to (0 = no preference).
+	PoolWorkers() int
+	// CSR exposes the raw forward CSR triple without copying. The
+	// estimator aliases the slices and never modifies them.
+	CSR() (off []int64, succ []int32, prob []float64)
+}
+
+// Estimator holds the per-space sampling tables: the CSR triple aliased
+// from the transition system plus one precomputed cumulative-probability
+// array (the per-row inverse CDF). Build it once per space with New and
+// run it any number of times; the estimator itself is immutable after
+// construction and safe for concurrent Runs.
+type Estimator struct {
+	ts     System
+	target []bool
+
+	off  []int64
+	succ []int32
+	// cum[i] is the within-row cumulative probability at CSR position i:
+	// sampling state s inverts it with one search over
+	// cum[off[s]:off[s+1]].
+	cum []float64
+	// nonTarget lists the non-target state indexes, the support of the
+	// uniform start distribution.
+	nonTarget []int32
+
+	workers int
+}
+
+// New precomputes the sampling tables of one explored transition system
+// for the given target set (typically markov.TargetFromSpace(ts)). Rows
+// are validated like markov.FromSpace: positive probabilities summing to
+// 1 within 1e-9. A zero-copy mapped system is pinned for the duration of
+// the precompute; Run pins it again for the walk.
+func New(ts System, target []bool) (*Estimator, error) {
+	n := ts.NumStates()
+	if len(target) != n {
+		return nil, fmt.Errorf("mc: target length %d != states %d", len(target), n)
+	}
+	release, err := pin(ts)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	off, succ, prob := ts.CSR()
+	e := &Estimator{
+		ts:      ts,
+		target:  target,
+		off:     off,
+		succ:    succ,
+		cum:     make([]float64, len(prob)),
+		workers: resolveWorkers(0, ts),
+	}
+	var (
+		mu   sync.Mutex
+		vErr error
+	)
+	statespace.ForRanges(n, e.workers, 1<<14, func(lo, hi int) bool {
+		for s := lo; s < hi; s++ {
+			a, b := off[s], off[s+1]
+			if a == b {
+				continue // absorbing
+			}
+			sum := 0.0
+			for i := a; i < b; i++ {
+				if prob[i] <= 0 {
+					mu.Lock()
+					if vErr == nil {
+						vErr = fmt.Errorf("mc: non-positive probability %g in state %d", prob[i], s)
+					}
+					mu.Unlock()
+					return false
+				}
+				sum += prob[i]
+				e.cum[i] = sum
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				mu.Lock()
+				if vErr == nil {
+					vErr = fmt.Errorf("mc: row %d sums to %g, want 1", s, sum)
+				}
+				mu.Unlock()
+				return false
+			}
+		}
+		return true
+	})
+	if vErr != nil {
+		return nil, vErr
+	}
+	for s := 0; s < n; s++ {
+		if !target[s] {
+			e.nonTarget = append(e.nonTarget, int32(s))
+		}
+	}
+	return e, nil
+}
+
+// pin acquires a zero-copy mapped system against concurrent unmapping
+// (the same contract core.AnalyzeSpace honors); a no-op release for
+// everything else.
+func pin(ts System) (release func(), err error) {
+	if p, ok := ts.(interface {
+		Acquire() error
+		Release() error
+	}); ok {
+		if err := p.Acquire(); err != nil {
+			return nil, fmt.Errorf("mc: %w", err)
+		}
+		return func() { p.Release() }, nil
+	}
+	return func() {}, nil
+}
+
+// resolveWorkers resolves a worker-pool option against the backing
+// system's exploration pool.
+func resolveWorkers(workers int, ts System) int {
+	if workers > 0 {
+		return workers
+	}
+	if ts != nil && ts.PoolWorkers() > 0 {
+		return ts.PoolWorkers()
+	}
+	return runtime.NumCPU()
+}
+
+// batchOut is the contribution of one finished batch, merged strictly in
+// batch order.
+type batchOut struct {
+	steps     []float64 // hit times, in trial order within the batch
+	divergent int
+	censored  int
+	walked    int64
+}
+
+// Run estimates with the given options.
+func (e *Estimator) Run(opt Options) (*Result, error) {
+	return e.RunContext(context.Background(), opt)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked at
+// batch boundaries, so a cancelled run stops claiming batches and
+// returns an error wrapping ctx.Err() in bounded time, producing no
+// result. A successful run is unaffected by ctx.
+func (e *Estimator) RunContext(ctx context.Context, opt Options) (*Result, error) {
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	batch := opt.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if batch > trials {
+		batch = trials
+	}
+	from := -1
+	if opt.From != nil {
+		from = *opt.From
+		if from < 0 || from >= len(e.target) {
+			return nil, fmt.Errorf("mc: start state %d out of range [0,%d)", from, len(e.target))
+		}
+	} else if len(e.nonTarget) == 0 {
+		return nil, errors.New("mc: every state is a target state; nothing to estimate")
+	}
+	release, err := pin(e.ts)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	numBatches := (trials + batch - 1) / batch
+	workers := resolveWorkers(opt.Workers, e.ts)
+	if workers > numBatches {
+		workers = numBatches
+	}
+	o := obs.Or(opt.Obs)
+
+	var (
+		next atomic.Int64 // next unclaimed batch index
+		stop atomic.Int64 // exclusive merge bound, lowered by early stopping
+
+		mu       sync.Mutex
+		outs     = make([]batchOut, numBatches)
+		ready    = make([]bool, numBatches)
+		frontier int // batches merged so far (a contiguous prefix)
+		res      = Result{Requested: trials, MaxSteps: maxSteps}
+		sum      float64 // running moments of the merged hit times,
+		sumsq    float64 // feeding the deterministic stopping rule
+		failErr  error
+	)
+	stop.Store(int64(numBatches))
+
+	// merge folds batch b into the result. Caller holds mu; batches
+	// arrive here strictly in batch order, so the accumulation order —
+	// and with it the early-stop decision — is a pure function of the
+	// options, not of worker scheduling.
+	merge := func(b int) {
+		out := outs[b]
+		outs[b] = batchOut{}
+		lo := b * batch
+		hi := lo + batch
+		if hi > trials {
+			hi = trials
+		}
+		res.Trials += hi - lo
+		res.Hits += len(out.steps)
+		res.Divergent += out.divergent
+		res.Censored += out.censored
+		res.WalkerSteps += out.walked
+		res.Steps = append(res.Steps, out.steps...)
+		for _, v := range out.steps {
+			sum += v
+			sumsq += v * v
+		}
+		if o.On() {
+			o.Counter("mc.batches").Add(1)
+			o.Counter("mc.trials").Add(int64(hi - lo))
+			o.Counter("mc.steps").Add(out.walked)
+			mean, ci := prefixMeanCI(res.Hits, sum, sumsq)
+			o.Emit("mc.batch", obs.MCBatch{
+				Batch: b, Of: numBatches, Trials: res.Trials, Hits: res.Hits,
+				Mean: mean, CI: ci, Steps: res.WalkerSteps,
+			})
+		}
+		if opt.TargetCI > 0 && res.Hits >= 2 {
+			if _, ci := prefixMeanCI(res.Hits, sum, sumsq); ci <= opt.TargetCI {
+				stop.Store(int64(b + 1))
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1) - 1)
+				if b >= numBatches || int64(b) >= stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if failErr == nil {
+						failErr = fmt.Errorf("mc: estimation canceled: %w", err)
+					}
+					mu.Unlock()
+					return
+				}
+				lo := b * batch
+				hi := lo + batch
+				if hi > trials {
+					hi = trials
+				}
+				out := e.runBatch(lo, hi, opt.Seed, maxSteps, from)
+				mu.Lock()
+				outs[b] = out
+				ready[b] = true
+				for frontier < numBatches && int64(frontier) < stop.Load() && ready[frontier] {
+					merge(frontier)
+					frontier++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+	res.Summary = stats.Summarize(res.Steps)
+	res.CDF = stats.CDF(res.Steps, nil)
+	return &res, nil
+}
+
+// prefixMeanCI computes the mean and normal-theory 95% half-width from
+// running moments — the stopping rule's view of the merged prefix. The
+// final Result recomputes both from the full sample (stats.Summarize);
+// tiny floating differences between the two never affect determinism
+// because each is computed in one fixed order.
+func prefixMeanCI(n int, sum, sumsq float64) (mean, ci float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	variance := (sumsq - sum*mean) / float64(n-1)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, 1.96 * math.Sqrt(variance/float64(n))
+}
+
+// runBatch walks trials [lo, hi). The only allocation is the batch's own
+// hit-times slice; the walk itself is allocation-free.
+func (e *Estimator) runBatch(lo, hi int, seed int64, maxSteps, from int) batchOut {
+	out := batchOut{steps: make([]float64, 0, hi-lo)}
+	off, succ, cum, target := e.off, e.succ, e.cum, e.target
+	for t := lo; t < hi; t++ {
+		st := walkerStream(seed, t)
+		s := int32(from)
+		if from < 0 {
+			i := int(st.float(startCoord) * float64(len(e.nonTarget)))
+			if i >= len(e.nonTarget) {
+				i = len(e.nonTarget) - 1
+			}
+			s = e.nonTarget[i]
+		}
+		steps := 0
+		for {
+			if target[s] {
+				out.steps = append(out.steps, float64(steps))
+				break
+			}
+			a, b := off[s], off[s+1]
+			if a == b {
+				out.divergent++ // absorbing non-target: T = +Inf, proved
+				break
+			}
+			if steps >= maxSteps {
+				out.censored++ // budget exhausted: T > MaxSteps, undecided
+				break
+			}
+			u := st.float(uint64(steps))
+			// Invert the row CDF: the first position with cum > u. Short
+			// rows scan (the common case: degree <= processes under the
+			// central policy); long rows binary-search. The branch
+			// depends only on the row, so trajectories stay pure.
+			var i int64
+			if b-a <= 16 {
+				i = a
+				for i < b-1 && cum[i] <= u {
+					i++
+				}
+			} else {
+				lo, hi := a, b
+				for lo < hi {
+					m := (lo + hi) >> 1
+					if cum[m] > u {
+						hi = m
+					} else {
+						lo = m + 1
+					}
+				}
+				i = lo
+				if i == b {
+					i = b - 1 // float rounding: clamp into the row
+				}
+			}
+			s = succ[i]
+			steps++
+			out.walked++
+		}
+	}
+	return out
+}

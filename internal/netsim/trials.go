@@ -17,7 +17,10 @@ type TrialResult struct {
 	// converged trial, in trial order.
 	Rounds []float64
 	// Summary summarizes Rounds; CDF is its empirical distribution at the
-	// default quantiles.
+	// default quantiles. Both cover the converged trials only — renderers
+	// must surface Failures alongside them (stats.Summary.StringOf prints
+	// the censoring denominator) rather than present the statistics as
+	// whole-batch.
 	Summary stats.Summary
 	CDF     []stats.CDFPoint
 	// Failures counts trials that exhausted the round budget.
@@ -27,7 +30,7 @@ type TrialResult struct {
 	Sent, Delivered, DroppedCrash int64
 }
 
-func (t *TrialResult) observe(trial int, res Result) {
+func (t *TrialResult) observe(res Result) {
 	t.Sent += res.Sent
 	t.Delivered += res.Delivered
 	t.DroppedCrash += res.DroppedCrash
@@ -86,7 +89,7 @@ func TrialsContext(ctx context.Context, a protocol.Algorithm, trials int, opts O
 		if err != nil {
 			return TrialResult{}, err
 		}
-		out.observe(i, res)
+		out.observe(res)
 		observeTrial(o, i, trials, topts.Seed, res, opts.Faults)
 	}
 	out.finish()
@@ -148,7 +151,7 @@ func RestabilizationFromContext(ctx context.Context, a protocol.Algorithm, legit
 		if err != nil {
 			return TrialResult{}, err
 		}
-		out.observe(i, res)
+		out.observe(res)
 		observeTrial(o, i, trials, topts.Seed, res, opts.Faults)
 	}
 	out.finish()

@@ -103,6 +103,27 @@ type NetsimTrial struct {
 	Seed      int64 `json:"seed"`
 }
 
+// MCBatch reports one merged batch of a Monte Carlo hitting-time
+// estimation (mc.Estimator): event "mc.batch". Batches are merged — and
+// therefore emitted — in batch order, so the cumulative fields are
+// monotone and the stream is deterministic for a fixed seed.
+type MCBatch struct {
+	// Batch is the 0-based index of the merged batch; Of is the total
+	// batch count of the run (before any early stop).
+	Batch int `json:"batch"`
+	Of    int `json:"of"`
+	// Trials and Hits are cumulative over the merged prefix.
+	Trials int `json:"trials"`
+	Hits   int `json:"hits"`
+	// Mean and CI are the running mean hitting time and its 95%
+	// confidence half-width over the merged prefix — the early-stopping
+	// rule's own view.
+	Mean float64 `json:"mean"`
+	CI   float64 `json:"ci"`
+	// Steps is the cumulative walker-step count.
+	Steps int64 `json:"steps"`
+}
+
 // PhaseEvent reports a completed run phase: event "phase".
 type PhaseEvent struct {
 	Name   string  `json:"name"`

@@ -13,6 +13,7 @@ import (
 
 	"weakstab/internal/checker"
 	"weakstab/internal/core"
+	"weakstab/internal/mc"
 	"weakstab/internal/obs"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
@@ -68,26 +69,23 @@ func Execute(ctx context.Context, req Request, deps Deps) (*Response, error) {
 	}
 	req = req.normalize()
 	opt := statespace.Options{MaxStates: req.MaxStates, Workers: req.Workers, Obs: deps.Obs}
-	if id.Mode == ModeSweep {
+	switch id.Mode {
+	case ModeSweep:
 		return executeSweep(ctx, id, a, pol, opt, deps)
+	case ModeMC:
+		return executeMC(ctx, id, a, pol, opt, deps)
 	}
 	return executeReport(ctx, id, a, pol, opt, deps)
 }
 
-// executeReport is the classification mode: explore once (full range,
-// the fault-ball closure, or the forward closure of explicit seeds),
-// analyze the explored system, then — when a fault radius was requested
-// and the analyzed system is not already the ball closure — run the
-// ball pipeline once more for the verdicts alone.
-func executeReport(ctx context.Context, id Request, a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options, deps Deps) (*Response, error) {
-	var (
-		ts          statespace.TransitionSystem
-		ballSS      *statespace.SubSpace
-		ballGlobals []int64
-		ballDist    []int
-		err         error
-	)
+// exploreSystem runs the request's exploration — the full index range,
+// the fault-ball closure (Reachable without explicit seeds), or the
+// forward closure of explicit seed configurations — through the disk
+// cache, under an "explore" phase timing. The ball triple is non-nil
+// only on the ball-closure path.
+func exploreSystem(ctx context.Context, id Request, a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options, deps Deps) (ts statespace.TransitionSystem, ballSS *statespace.SubSpace, ballGlobals []int64, ballDist []int, err error) {
 	exploreDone := obs.Or(deps.Obs).Phase("explore")
+	defer exploreDone()
 	switch {
 	case id.Reachable && id.From == "":
 		k := 0
@@ -107,7 +105,16 @@ func executeReport(ctx context.Context, id Request, a protocol.Algorithm, pol sc
 	default:
 		ts, _, err = deps.Cache.BuildSpaceContext(ctx, a, pol, opt)
 	}
-	exploreDone()
+	return ts, ballSS, ballGlobals, ballDist, err
+}
+
+// executeReport is the classification mode: explore once (full range,
+// the fault-ball closure, or the forward closure of explicit seeds),
+// analyze the explored system, then — when a fault radius was requested
+// and the analyzed system is not already the ball closure — run the
+// ball pipeline once more for the verdicts alone.
+func executeReport(ctx context.Context, id Request, a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options, deps Deps) (*Response, error) {
+	ts, ballSS, ballGlobals, ballDist, err := exploreSystem(ctx, id, a, pol, opt, deps)
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +147,41 @@ func executeReport(ctx context.Context, id Request, a protocol.Algorithm, pol sc
 		if ss != nil {
 			resp.Ball = &BallJSON{ClosureStates: ss.NumStates(), TotalConfigs: ss.TotalConfigs()}
 		}
+	}
+	if deps.Inspect != nil {
+		deps.Inspect(resp, ts)
+	}
+	return resp, nil
+}
+
+// executeMC is the Monte Carlo estimation mode: explore (or cache-load)
+// the space exactly as report mode would, then sample stabilization
+// times on its CSR (core.EstimateSpaceContext). The estimate is
+// bit-identical across worker counts, so the result document stays a
+// pure function of the request identity — Workers is tuning here exactly
+// as it is for the exact analyses.
+func executeMC(ctx context.Context, id Request, a protocol.Algorithm, pol scheduler.Policy, opt statespace.Options, deps Deps) (*Response, error) {
+	ts, _, _, _, err := exploreSystem(ctx, id, a, pol, opt, deps)
+	if err != nil {
+		return nil, err
+	}
+	defer closeSystem(ts)
+
+	res, err := core.EstimateSpaceContext(ctx, ts, mc.Options{
+		Trials:   id.Trials,
+		MaxSteps: id.MCMaxSteps,
+		Seed:     id.Seed,
+		TargetCI: id.CI,
+		Workers:  opt.Workers,
+		Obs:      deps.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Request:  id,
+		MC:       mcJSON(a.Name(), pol.Name(), ts.NumStates(), ts.TotalConfigs(), id.Seed, res),
+		MCResult: res,
 	}
 	if deps.Inspect != nil {
 		deps.Inspect(resp, ts)

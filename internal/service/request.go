@@ -16,9 +16,11 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"weakstab/internal/cli"
+	"weakstab/internal/mc"
 	"weakstab/internal/protocol"
 	"weakstab/internal/scheduler"
 	"weakstab/internal/spacecache"
@@ -42,16 +44,17 @@ type Request struct {
 	// (0 means 0.5).
 	Transform bool    `json:"transform,omitempty"`
 	Bias      float64 `json:"bias,omitempty"`
-	// Seed drives random topologies (ignored — and normalized away —
-	// otherwise).
+	// Seed drives random topologies and mode "mc"'s sampling streams
+	// (ignored — and normalized away — otherwise).
 	Seed int64 `json:"seed,omitempty"`
 	// Policy is the scheduler policy: central (default), distributed,
 	// synchronous.
 	Policy string `json:"policy,omitempty"`
 
 	// Mode selects the analysis: "report" (the default; the full
-	// classification) or "sweep" (the incremental k-fault sweep, which
-	// requires KMax). An empty Mode is derived from KMax.
+	// classification), "sweep" (the incremental k-fault sweep, which
+	// requires KMax), or "mc" (the Monte Carlo stabilization-time
+	// estimate). An empty Mode is derived from KMax.
 	Mode string `json:"mode,omitempty"`
 	// Reachable explores only the subspace reachable from the seed set
 	// (From, default: the legitimate set) instead of the full range.
@@ -65,6 +68,17 @@ type Request struct {
 	// KMax, when non-nil, selects the incremental sweep k = 0..*KMax,
 	// stopping at the smallest k that breaks certain convergence.
 	KMax *int `json:"kmax,omitempty"`
+
+	// Trials, CI and MCMaxSteps drive mode "mc" (the Monte Carlo
+	// stabilization-time estimator): the walker count (0 = the
+	// estimator's default), the optional target 95% confidence half-width
+	// for deterministic early stopping (0 = run every trial), and the
+	// per-walker step budget (0 = the estimator's default). In mc mode
+	// Seed is semantic — it keys every walker's random stream — so unlike
+	// the other modes it always survives normalization.
+	Trials     int     `json:"trials,omitempty"`
+	CI         float64 `json:"ci,omitempty"`
+	MCMaxSteps int     `json:"mc_max_steps,omitempty"`
 
 	// MaxStates caps the explored configuration space (0 = default).
 	MaxStates int64 `json:"max_states,omitempty"`
@@ -81,6 +95,7 @@ type Request struct {
 const (
 	ModeReport = "report"
 	ModeSweep  = "sweep"
+	ModeMC     = "mc"
 )
 
 // normalize lowercases the name fields, resolves defaulted fields to
@@ -127,9 +142,22 @@ func (r Request) normalize() Request {
 		}
 		r.K = 0
 	}
-	if r.Topology != "random" {
-		// Seed only feeds random topologies; normalizing it away keeps
-		// the CLI's -seed default from splitting identities.
+	if r.Mode == ModeMC {
+		// Resolve the estimator defaults so "trials omitted" and "trials
+		// 10000" normalize to one identity.
+		if r.Trials == 0 {
+			r.Trials = mc.DefaultTrials
+		}
+		if r.MCMaxSteps == 0 {
+			r.MCMaxSteps = mc.DefaultMaxSteps
+		}
+	} else {
+		r.Trials, r.CI, r.MCMaxSteps = 0, 0, 0
+	}
+	if r.Topology != "random" && r.Mode != ModeMC {
+		// Seed only feeds random topologies — and, in mc mode, the
+		// sampling streams; normalizing it away everywhere else keeps the
+		// CLI's -seed default from splitting identities.
 		r.Seed = 0
 	}
 	return r
@@ -156,8 +184,21 @@ func (r Request) validate() error {
 		case *r.KMax < 0:
 			return errors.New("kmax must be >= 0")
 		}
+	case ModeMC:
+		switch {
+		case r.KMax != nil:
+			return errors.New("-mc estimates stabilization times by simulation; drop -kmax")
+		case r.KFaults != nil:
+			return errors.New("-mc estimates stabilization times by simulation; drop -kfaults")
+		case r.Trials < 0:
+			return errors.New("trials must be >= 0")
+		case r.CI < 0 || math.IsNaN(r.CI):
+			return errors.New("ci must be >= 0")
+		case r.MCMaxSteps < 0:
+			return errors.New("mc step budget must be >= 0")
+		}
 	default:
-		return fmt.Errorf("unknown mode %q (report, sweep)", r.Mode)
+		return fmt.Errorf("unknown mode %q (report, sweep, mc)", r.Mode)
 	}
 	if r.KFaults != nil && *r.KFaults < 0 {
 		return errors.New("kfaults must be >= 0")
@@ -205,6 +246,12 @@ func jobKey(id Request, a protocol.Algorithm, pol scheduler.Policy) string {
 	if id.KMax != nil {
 		km = *id.KMax
 	}
-	return fmt.Sprintf("%s|mode=%s|reachable=%t|from=%s|kfaults=%d|kmax=%d|max=%d",
+	key := fmt.Sprintf("%s|mode=%s|reachable=%t|from=%s|kfaults=%d|kmax=%d|max=%d",
 		spacecache.Key(a, pol), id.Mode, id.Reachable, id.From, kf, km, id.MaxStates)
+	if id.Mode == ModeMC {
+		// The sampling parameters select what mc mode computes over the
+		// space, so they split identities exactly like the fault radii do.
+		key += fmt.Sprintf("|trials=%d|ci=%g|mcsteps=%d|mcseed=%d", id.Trials, id.CI, id.MCMaxSteps, id.Seed)
+	}
+	return key
 }

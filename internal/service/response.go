@@ -16,6 +16,7 @@ import (
 	"weakstab/internal/checker"
 	"weakstab/internal/core"
 	"weakstab/internal/markov"
+	"weakstab/internal/mc"
 )
 
 // Float is a float64 whose JSON encoding survives the non-finite values
@@ -119,20 +120,70 @@ type SweepJSON struct {
 	BreaksPossibleAt int          `json:"breaks_possible_at"`
 }
 
+// MCJSON is the wire form of mc.Result — the Monte Carlo
+// stabilization-time estimate of mode "mc". Every field is a pure
+// function of the request identity (the sampling seed is part of it),
+// which is what keeps mc results on the one-result-schema discipline:
+// cold, warm, CLI and server runs render identical bytes.
+type MCJSON struct {
+	Algorithm    string `json:"algorithm"`
+	Policy       string `json:"policy"`
+	States       int    `json:"states"`
+	TotalConfigs int64  `json:"total_configs"`
+	Seed         int64  `json:"seed"`
+
+	// Requested is the configured walker count; Trials is how many
+	// contributed after early stopping at the target CI half-width.
+	Requested int `json:"requested"`
+	Trials    int `json:"trials"`
+	// Hits reached the legitimate set; Divergent reached an absorbing
+	// illegitimate state (stabilization time +Inf, proved); Censored
+	// exhausted the MaxSteps budget (undecided).
+	Hits      int `json:"hits"`
+	Divergent int `json:"divergent"`
+	Censored  int `json:"censored"`
+	MaxSteps  int `json:"max_steps"`
+	// FailureRate is (Divergent + Censored) / Trials.
+	FailureRate float64 `json:"failure_rate"`
+
+	// The stabilization-time estimate over the hit walkers only.
+	Mean   float64 `json:"mean"`
+	CI95   float64 `json:"ci95"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
+
+	// CDF is the empirical distribution at the default quantiles.
+	CDF []CDFPointJSON `json:"cdf,omitempty"`
+}
+
+// CDFPointJSON is one empirical-CDF point: the hitting time at quantile P.
+type CDFPointJSON struct {
+	P     float64 `json:"p"`
+	Value float64 `json:"value"`
+}
+
 // Response is the complete result document of one job. Report mode fills
 // Report (plus KFaults/Ball when a fault radius was requested); sweep
-// mode fills Sweep (plus Ball when the legitimate set is non-empty).
+// mode fills Sweep (plus Ball when the legitimate set is non-empty); mc
+// mode fills MC.
 type Response struct {
 	Request Request      `json:"request"`
 	Report  *ReportJSON  `json:"report,omitempty"`
 	KFaults []KFaultJSON `json:"kfaults,omitempty"`
 	Sweep   *SweepJSON   `json:"sweep,omitempty"`
 	Ball    *BallJSON    `json:"ball,omitempty"`
+	MC      *MCJSON      `json:"mc,omitempty"`
 
 	// CoreReport is the in-process report behind Report, for callers on
 	// the same side of the wire (stabcheck's text rendering). Never
 	// marshaled.
 	CoreReport *core.Report `json:"-"`
+	// MCResult is the in-process estimate behind MC, for the same
+	// callers. Never marshaled.
+	MCResult *mc.Result `json:"-"`
 }
 
 // WriteJSON renders the document — indented, trailing newline — the one
@@ -176,6 +227,35 @@ func reportJSON(rep *core.Report) *ReportJSON {
 func expectedStepsJSON(s markov.Summary) *ExpectedStepsJSON {
 	return &ExpectedStepsJSON{States: s.States, Target: s.Target,
 		Divergent: s.Divergent, Mean: s.Mean, Max: s.Max}
+}
+
+// mcJSON lowers an mc.Result to the wire form.
+func mcJSON(alg, pol string, states int, totalConfigs, seed int64, res *mc.Result) *MCJSON {
+	out := &MCJSON{
+		Algorithm:    alg,
+		Policy:       pol,
+		States:       states,
+		TotalConfigs: totalConfigs,
+		Seed:         seed,
+		Requested:    res.Requested,
+		Trials:       res.Trials,
+		Hits:         res.Hits,
+		Divergent:    res.Divergent,
+		Censored:     res.Censored,
+		MaxSteps:     res.MaxSteps,
+		FailureRate:  res.FailureRate(),
+		Mean:         res.Summary.Mean,
+		CI95:         res.Summary.CI95(),
+		Std:          res.Summary.Std,
+		Min:          res.Summary.Min,
+		Median:       res.Summary.Median,
+		P95:          res.Summary.P95,
+		Max:          res.Summary.Max,
+	}
+	for _, pt := range res.CDF {
+		out.CDF = append(out.CDF, CDFPointJSON{P: pt.P, Value: pt.Value})
+	}
+	return out
 }
 
 // kfaultJSON lowers checker verdicts to the wire form.

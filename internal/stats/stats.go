@@ -139,6 +139,16 @@ func (s Summary) String() string {
 		s.Mean, s.CI95(), s.Std, s.Min, s.Median, s.P95, s.Max, s.Count)
 }
 
+// StringOf renders like String but with an explicit censoring
+// denominator, "(n=count/of)": the statistics describe Count samples out
+// of `of` attempted. Use it whenever a summary covers only the
+// converged/hit subset of a batch, so the sample size is never mistaken
+// for the batch size.
+func (s Summary) StringOf(of int) string {
+	return fmt.Sprintf("mean=%.2f ±%.2f std=%.2f min=%.0f med=%.1f p95=%.1f max=%.0f (n=%d/%d)",
+		s.Mean, s.CI95(), s.Std, s.Min, s.Median, s.P95, s.Max, s.Count, of)
+}
+
 // Histogram renders a fixed-width text histogram of the sample with the
 // given number of buckets (at least 1). Returns "" for empty samples.
 func Histogram(sample []float64, buckets int, width int) string {
@@ -183,7 +193,13 @@ func Histogram(sample []float64, buckets int, width int) string {
 		if maxCount > 0 {
 			bar = c * width / maxCount
 		}
-		fmt.Fprintf(&sb, "[%8.1f,%8.1f) %6d %s\n", bLo, bHi, c, strings.Repeat("#", bar))
+		// The last bucket is closed — the sample maximum is clamped into
+		// it, so labeling it half-open would lie about its own content.
+		close := ')'
+		if b == buckets-1 {
+			close = ']'
+		}
+		fmt.Fprintf(&sb, "[%8.1f,%8.1f%c %6d %s\n", bLo, bHi, close, c, strings.Repeat("#", bar))
 	}
 	return sb.String()
 }

@@ -120,11 +120,47 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramMaxBucketTruthful pins the final-bucket labeling: the
+// sample maximum is clamped into the last bucket, so that bucket must
+// render closed "[lo,hi]" — every other bucket stays half-open "[lo,hi)"
+// — and the maximum must land in a bucket whose printed bounds actually
+// contain it.
+func TestHistogramMaxBucketTruthful(t *testing.T) {
+	// Max = 9 falls exactly on the last bucket's upper bound; under the
+	// old half-open label [6.0, 9.0) the bucket claimed not to hold it.
+	h := Histogram([]float64{0, 3, 9}, 3, 20)
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("histogram has %d lines, want 3: %q", len(lines), h)
+	}
+	for i, line := range lines {
+		bracket := line[strings.IndexAny(line, ")]")]
+		if i == len(lines)-1 {
+			if bracket != ']' {
+				t.Fatalf("last bucket not closed: %q", line)
+			}
+			if !strings.Contains(line, "     1 ") {
+				t.Fatalf("max sample not counted in last bucket: %q", line)
+			}
+		} else if bracket != ')' {
+			t.Fatalf("bucket %d not half-open: %q", i, line)
+		}
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3})
 	out := s.String()
 	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2.00") {
 		t.Fatalf("String = %q", out)
+	}
+}
+
+func TestSummaryStringOf(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := s.StringOf(10)
+	if !strings.Contains(out, "(n=3/10)") {
+		t.Fatalf("StringOf = %q, want n=3/10 denominator", out)
 	}
 }
 
